@@ -1,0 +1,212 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§VII). Each benchmark runs the corresponding experiment end to end — the
+// same code path cmd/capsim prints — so `go test -bench=.` both times the
+// reproduction and re-derives its numbers. Benchmarks default to a one-week
+// month (set -benchtime=1x for single full runs of the 4-week experiments
+// via the *Full variants).
+package billcap_test
+
+import (
+	"math"
+	"testing"
+
+	"billcap"
+	"billcap/internal/core"
+	"billcap/internal/experiments"
+	"billcap/internal/sim"
+)
+
+// benchWeeks keeps the per-iteration work of the figure benchmarks at one
+// week; the *Full variants cover the whole month.
+const benchWeeks = 1
+
+func benchExperiment(b *testing.B, f func(int) (experiments.Result, error), weeks int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := f(weeks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Table.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkFig1PricingPolicies regenerates Figure 1 (the step policies).
+func BenchmarkFig1PricingPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Fig1(); len(r.Table.Rows) != 15 {
+			b.Fatalf("rows = %d", len(r.Table.Rows))
+		}
+	}
+}
+
+// BenchmarkFig1Derived regenerates Figure 1 from the five-bus DC-OPF sweep.
+func BenchmarkFig1Derived(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig1Derived()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Table.Rows) < 6 {
+			b.Fatalf("rows = %d", len(res.Table.Rows))
+		}
+	}
+}
+
+// BenchmarkFig3HourlyCost regenerates Figure 3 (hourly cost, Cost Capping
+// vs Min-Only) on a one-week month.
+func BenchmarkFig3HourlyCost(b *testing.B) { benchExperiment(b, experiments.Fig3, benchWeeks) }
+
+// BenchmarkFig3HourlyCostFull is Figure 3 over the full four-week month.
+func BenchmarkFig3HourlyCostFull(b *testing.B) { benchExperiment(b, experiments.Fig3, 4) }
+
+// BenchmarkFig4PolicySweep regenerates Figure 4 (monthly bill under
+// Policies 0–3).
+func BenchmarkFig4PolicySweep(b *testing.B) { benchExperiment(b, experiments.Fig4, benchWeeks) }
+
+// BenchmarkFig5Fig6AbundantBudget regenerates Figures 5+6 (abundant
+// budget).
+func BenchmarkFig5Fig6AbundantBudget(b *testing.B) {
+	benchExperiment(b, experiments.Fig56, benchWeeks)
+}
+
+// BenchmarkFig7Fig8TightBudget regenerates Figures 7+8 (tight budget).
+func BenchmarkFig7Fig8TightBudget(b *testing.B) { benchExperiment(b, experiments.Fig78, benchWeeks) }
+
+// BenchmarkFig9BudgetComparison regenerates Figure 9 (cost & throughput of
+// all strategies under the tight budget).
+func BenchmarkFig9BudgetComparison(b *testing.B) { benchExperiment(b, experiments.Fig9, benchWeeks) }
+
+// BenchmarkFig10BudgetSweep regenerates Figure 10 (throughput vs budget).
+func BenchmarkFig10BudgetSweep(b *testing.B) { benchExperiment(b, experiments.Fig10, benchWeeks) }
+
+// BenchmarkAblationPowerModel regenerates the A1/A2 ablation table.
+func BenchmarkAblationPowerModel(b *testing.B) {
+	benchExperiment(b, experiments.Ablation, benchWeeks)
+}
+
+// BenchmarkRobustnessSweep regenerates the prediction-error robustness
+// table (paper §IX future work).
+func BenchmarkRobustnessSweep(b *testing.B) {
+	benchExperiment(b, experiments.Robustness, benchWeeks)
+}
+
+// BenchmarkExtensionHetero regenerates the heterogeneous-fleet extension
+// table (paper §IX future work).
+func BenchmarkExtensionHetero(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Hetero()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Table.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkExtensionBattery regenerates the stored-energy table (paper
+// §VIII refs [37][38]).
+func BenchmarkExtensionBattery(b *testing.B) {
+	benchExperiment(b, experiments.Battery, benchWeeks)
+}
+
+// BenchmarkExtensionBaselines regenerates the widened baseline-family table
+// (adds the TOU two-price strategy of refs [32]-[34]).
+func BenchmarkExtensionBaselines(b *testing.B) {
+	benchExperiment(b, experiments.Baselines, benchWeeks)
+}
+
+// BenchmarkSolver13DC5Level times one cost-minimization MILP at the paper's
+// §IV-C scalability point: 13 data centers × 5 price levels (the paper
+// reports ≤ ~2 ms with lp_solve; see EXPERIMENTS.md for our from-scratch
+// solver's numbers).
+func BenchmarkSolver13DC5Level(b *testing.B) {
+	benchSolveN(b, 13)
+}
+
+// BenchmarkSolver3DC5Level times the paper's base system size.
+func BenchmarkSolver3DC5Level(b *testing.B) {
+	benchSolveN(b, 3)
+}
+
+func benchSolveN(b *testing.B, n int) {
+	b.Helper()
+	sys, in := solverFixture(b, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var st core.SolverStats
+		if _, err := sys.MinimizeCost(in, in.TotalLambda, &st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func solverFixture(b *testing.B, n int) (*billcap.System, billcap.HourInput) {
+	b.Helper()
+	sys, err := billcap.NewSystem(billcap.SyntheticSites(n), billcap.SyntheticPolicies(n), billcap.SystemOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	demand := make([]float64, n)
+	for i := range demand {
+		demand[i] = 150 + 13*float64(i%7)
+	}
+	in := billcap.HourInput{
+		TotalLambda: 0.6 * sys.MaxThroughput(),
+		DemandMW:    demand,
+		BudgetUSD:   math.Inf(1),
+	}
+	return sys, in
+}
+
+// BenchmarkDecideHourTight times one full two-step capping decision under a
+// binding budget (the worst case: both MILPs run).
+func BenchmarkDecideHourTight(b *testing.B) {
+	scen, err := billcap.PaperScenario(billcap.Policy1, billcap.TightBudget())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := billcap.NewSystem(scen.DCs, scen.Policies, billcap.SystemOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := billcap.HourInput{
+		TotalLambda:   scen.Month.At(18), // an evening peak hour
+		PremiumLambda: 0.8 * scen.Month.At(18),
+		DemandMW:      []float64{scen.Demand[0].At(18), scen.Demand[1].At(18), scen.Demand[2].At(18)},
+		BudgetUSD:     500, // forces step 2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.DecideHour(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatedWeek times a full week of simulated control (168
+// decisions + realizations + budget accounting).
+func BenchmarkSimulatedWeek(b *testing.B) {
+	scen, err := sim.ShortScenario(billcap.Policy1, billcap.TightBudget()/4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cc, err := billcap.NewCostCapping(scen.DCs, scen.Policies)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := billcap.Run(scen, cc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFlashCrowd regenerates the §I flash-crowd motivation table.
+func BenchmarkFlashCrowd(b *testing.B) {
+	benchExperiment(b, experiments.FlashCrowd, benchWeeks)
+}

@@ -1,0 +1,61 @@
+// Command capperd serves the bill capper as a JSON HTTP control API — what
+// a production request-routing tier would call once per invocation period
+// (paper §III).
+//
+// Usage:
+//
+//	capperd -addr :8080 -variant 1
+//
+// Endpoints: GET /healthz, GET /v1/sites, GET /v1/policies,
+// POST /v1/decide, POST /v1/realize. Example:
+//
+//	curl -s localhost:8080/v1/decide -d '{
+//	  "totalLambda": 1.5e12, "premiumLambda": 1.2e12,
+//	  "demandMW": [170, 190, 150], "budgetUSD": 900
+//	}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"billcap/internal/api"
+	"billcap/internal/core"
+	"billcap/internal/dcmodel"
+	"billcap/internal/pricing"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	variant := flag.Int("variant", 1, "pricing policy variant (0-3)")
+	sites := flag.Int("sites", 3, "number of data centers (3 = the paper's; more = synthetic)")
+	flag.Parse()
+
+	if *variant < 0 || *variant > 3 {
+		log.Fatal("capperd: variant must be 0..3")
+	}
+	var dcs []*dcmodel.Site
+	var pols []pricing.Policy
+	if *sites == 3 {
+		dcs = dcmodel.PaperSites()
+		pols = pricing.PaperPolicies(pricing.PolicyVariant(*variant))
+	} else {
+		dcs = dcmodel.SyntheticSites(*sites)
+		pols = pricing.Synthetic(*sites)
+	}
+	srv, err := api.New(dcs, pols, core.Options{})
+	if err != nil {
+		log.Fatalf("capperd: %v", err)
+	}
+	hs := &http.Server{
+		Addr:         *addr,
+		Handler:      srv.Handler(),
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 30 * time.Second,
+	}
+	fmt.Printf("capperd: %d sites, %v, listening on %s\n", len(dcs), pricing.PolicyVariant(*variant), *addr)
+	log.Fatal(hs.ListenAndServe())
+}

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nope", 1, "", "text"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunUnknownFormat(t *testing.T) {
+	if err := run("fig1", 1, "", "xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestRunFig1AllFormats(t *testing.T) {
+	for _, format := range []string{"text", "md", "csv"} {
+		if err := run("fig1", 1, "", format); err != nil {
+			t.Errorf("format %s: %v", format, err)
+		}
+	}
+}
+
+func TestRunWithSeriesDump(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("fig3", 1, dir, "text"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+// Command milpsolve solves a (mixed integer) linear program written in the
+// small LP text format of internal/lpparse — a stand-in for the lp_solve
+// tool the paper's authors used.
+//
+// Usage:
+//
+//	milpsolve model.lp
+//	milpsolve < model.lp
+//
+// Example model:
+//
+//	max: 10a + 13b + 7c
+//	cap: 5a + 6b + 4c <= 10
+//	bin a b c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"billcap/internal/lpparse"
+	"billcap/internal/milp"
+)
+
+func main() {
+	maxNodes := flag.Int("maxnodes", 0, "branch-and-bound node limit (0 = default)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	parsed, err := lpparse.Parse(in)
+	if err != nil {
+		fail(err)
+	}
+	sol := parsed.Problem.SolveWithOptions(milp.Options{MaxNodes: *maxNodes})
+	fmt.Printf("status: %v\n", sol.Status)
+	if sol.Status != milp.Optimal && sol.Status != milp.Limit || sol.X == nil {
+		os.Exit(exitCode(sol.Status))
+	}
+	fmt.Printf("objective: %g\n", sol.Objective)
+	for i, name := range parsed.Vars {
+		fmt.Printf("%s = %g\n", name, sol.X[i])
+	}
+	fmt.Printf("nodes: %d  pivots: %d\n", sol.Nodes, sol.Pivots)
+	os.Exit(exitCode(sol.Status))
+}
+
+func exitCode(st milp.Status) int {
+	if st == milp.Optimal {
+		return 0
+	}
+	return 2
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "milpsolve:", err)
+	os.Exit(1)
+}

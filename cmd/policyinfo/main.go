@@ -1,0 +1,47 @@
+// Command policyinfo prints the locational pricing policies of the
+// reproduction (the data behind the paper's Figure 1), for any of the four
+// policy variants, and can evaluate the price at a given regional load.
+//
+// Usage:
+//
+//	policyinfo                    # Policy 1 step tables for B, C, D
+//	policyinfo -variant 3         # Policy 3
+//	policyinfo -load 250          # also show the price at 250 MW
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"billcap/internal/pricing"
+)
+
+func main() {
+	variant := flag.Int("variant", 1, "pricing policy variant: 0, 1, 2 or 3")
+	load := flag.Float64("load", -1, "optionally evaluate the price at this regional load (MW)")
+	flag.Parse()
+
+	if *variant < 0 || *variant > 3 {
+		fmt.Fprintln(os.Stderr, "policyinfo: variant must be 0..3")
+		os.Exit(1)
+	}
+	v := pricing.PolicyVariant(*variant)
+	fmt.Printf("Locational pricing policies — %v\n\n", v)
+	for _, p := range pricing.PaperPolicies(v) {
+		fmt.Printf("region %s (%s)\n", p.Location, p.Name)
+		for k := 0; k < p.Fn.NumSegments(); k++ {
+			lo, hi := p.Fn.SegmentBounds(k)
+			hiStr := "inf"
+			if !math.IsInf(hi, 1) {
+				hiStr = fmt.Sprintf("%.0f", hi)
+			}
+			fmt.Printf("  [%7.0f, %7s) MW  →  %6.2f $/MWh\n", lo, hiStr, p.Fn.Rates()[k])
+		}
+		if *load >= 0 {
+			fmt.Printf("  price at %.1f MW: %.2f $/MWh\n", *load, p.Price(*load))
+		}
+		fmt.Println()
+	}
+}

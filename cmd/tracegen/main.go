@@ -1,0 +1,62 @@
+// Command tracegen generates the synthetic input traces of the evaluation
+// as CSV ("hour,value"): the Wikipedia-like request workload and the
+// RECO-like regional background power demand.
+//
+// Usage:
+//
+//	tracegen -kind workload -hours 1344 -seed 20071001 > workload.csv
+//	tracegen -kind demand -region B -hours 672 > demand_b.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"billcap/internal/grid"
+	"billcap/internal/workload"
+)
+
+func main() {
+	kind := flag.String("kind", "workload", "what to generate: workload | demand")
+	hours := flag.Int("hours", 1344, "number of hourly samples")
+	seed := flag.Int64("seed", 20071001, "generator seed")
+	region := flag.String("region", "B", "demand region: B | C | D")
+	base := flag.Float64("base", 0, "override the base level (req/h or MW); 0 = default")
+	flag.Parse()
+
+	if err := run(*kind, *hours, *seed, *region, *base); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, hours int, seed int64, region string, base float64) error {
+	switch kind {
+	case "workload":
+		cfg := workload.DefaultWikipedia()
+		cfg.Hours = hours
+		cfg.Seed = seed
+		if base > 0 {
+			cfg.BaseRate = base
+		}
+		tr, err := workload.Synthetic(cfg)
+		if err != nil {
+			return err
+		}
+		return tr.Rates.WriteCSV(os.Stdout)
+	case "demand":
+		regions, err := grid.PaperRegions(hours, seed)
+		if err != nil {
+			return err
+		}
+		for _, d := range regions {
+			if d.Region == region {
+				return d.MW.WriteCSV(os.Stdout)
+			}
+		}
+		return fmt.Errorf("unknown region %q (want B, C or D)", region)
+	default:
+		return fmt.Errorf("unknown kind %q (want workload or demand)", kind)
+	}
+}

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestRunWorkload(t *testing.T) {
+	if err := run("workload", 24, 1, "B", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("workload", 24, 1, "B", 5e11); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDemand(t *testing.T) {
+	for _, region := range []string{"B", "C", "D"} {
+		if err := run("demand", 24, 1, region, 0); err != nil {
+			t.Fatalf("region %s: %v", region, err)
+		}
+	}
+	if err := run("demand", 24, 1, "Z", 0); err == nil {
+		t.Error("unknown region accepted")
+	}
+}
+
+func TestRunUnknownKind(t *testing.T) {
+	if err := run("nonsense", 24, 1, "B", 0); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := run("workload", 0, 1, "B", 0); err == nil {
+		t.Error("zero hours accepted")
+	}
+}

@@ -1,0 +1,84 @@
+// Command traceinfo summarizes an hourly trace CSV (as produced by
+// cmd/tracegen or timeseries.WriteCSV): totals, quantiles, peak-to-mean
+// ratio and the hour-of-week profile the budgeter will see.
+//
+// Usage:
+//
+//	tracegen -kind workload | traceinfo
+//	traceinfo workload.csv
+//	traceinfo -wikibench requests.trace    # raw WikiBench request lines
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"billcap/internal/timeseries"
+	"billcap/internal/workload"
+)
+
+func main() {
+	wiki := flag.Bool("wikibench", false, "input is raw WikiBench request lines, not CSV")
+	scale := flag.Float64("scale", 10, "WikiBench sampling correction factor")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	var s timeseries.Series
+	if *wiki {
+		tr, err := workload.ReadWikiBench(in, workload.WikiBenchOptions{Scale: *scale})
+		if err != nil {
+			fail(err)
+		}
+		s = tr.Rates
+	} else {
+		var err error
+		s, err = timeseries.ReadCSV(in)
+		if err != nil {
+			fail(err)
+		}
+	}
+	if len(s) == 0 {
+		fail(fmt.Errorf("empty trace"))
+	}
+
+	mean := s.Mean()
+	fmt.Printf("hours:         %d (%.1f weeks)\n", len(s), float64(len(s))/168)
+	fmt.Printf("total:         %.6g\n", s.Sum())
+	fmt.Printf("mean hourly:   %.6g\n", mean)
+	fmt.Printf("min / max:     %.6g / %.6g\n", s.Min(), s.Max())
+	fmt.Printf("p50 p90 p99:   %.6g  %.6g  %.6g\n", s.Quantile(0.5), s.Quantile(0.9), s.Quantile(0.99))
+	if mean > 0 {
+		fmt.Printf("peak-to-mean:  %.3f\n", s.Max()/mean)
+	}
+
+	if len(s) >= 168 {
+		fmt.Printf("\nhour-of-week profile (relative to the mean):\n")
+		prof := s.HourOfWeekMeans()
+		days := []string{"Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"}
+		for d := 0; d < 7; d++ {
+			fmt.Printf("  %s ", days[d])
+			for h := 0; h < 24; h += 3 {
+				v := prof[d*24+h] / mean
+				fmt.Printf("%5.2f", v)
+			}
+			fmt.Println()
+		}
+		fmt.Println("       00h  03h  06h  09h  12h  15h  18h  21h")
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "traceinfo:", err)
+	os.Exit(1)
+}

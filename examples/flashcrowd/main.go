@@ -1,0 +1,67 @@
+// Flash crowd: the paper's motivating scenario for bill capping — breaking
+// news triples the workload for half a day in an otherwise ordinary week.
+// Without capping the bill overshoots; with capping, premium customers keep
+// full QoS while ordinary admission absorbs the cost shock.
+//
+//	go run ./examples/flashcrowd
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"billcap"
+)
+
+func main() {
+	weekBudget := billcap.TightBudget() / 4 // one week of the tight budget
+
+	base, err := billcap.PaperScenario(billcap.Policy1, weekBudget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base.Month = base.Month.Slice(0, 168)
+
+	// Inject the news event: ×3 peak for 12 hours on Wednesday.
+	crowd := base
+	crowd.Month = base.Month.Inject(billcap.FlashCrowd{StartHour: 58, Duration: 12, Peak: 3})
+
+	cc, err := billcap.NewCostCapping(base.DCs, base.Policies)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		scen billcap.Scenario
+	}{
+		{"calm week", base},
+		{"flash-crowd week", crowd},
+	} {
+		res, err := billcap.Run(tc.scen, cc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-17s bill $%.0f / budget $%.0f (util %.1f%%)  premium %.2f%%  ordinary %.2f%%\n",
+			tc.name, res.TotalBillUSD(), weekBudget, 100*res.BudgetUtilization(),
+			100*res.PremiumServiceRate(), 100*res.OrdinaryServiceRate())
+		drops := 0
+		for _, h := range res.Hours {
+			if h.ArrivedOrdinary > 0 && h.ServedOrdinary < 0.999*h.ArrivedOrdinary {
+				drops++
+			}
+		}
+		fmt.Printf("%-17s hours with throttled ordinary traffic: %d, decision mix: %v\n\n",
+			"", drops, res.StepCounts)
+	}
+
+	// The same flash crowd without a budget: the bill is whatever it is.
+	unc := crowd
+	unc.MonthlyBudgetUSD = billcap.Uncapped()
+	res, err := billcap.Run(unc, cc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-17s bill $%.0f — what the week costs when nothing is capped\n",
+		"uncapped crowd", res.TotalBillUSD())
+}

@@ -1,0 +1,72 @@
+// Hierarchical capping: the paper's §IX scalability path as a program. A
+// twelve-site fleet is split into four groups; a coordinator samples each
+// group's cost curve, splits the hour's load by marginal cost and the
+// budget by cost share, and the groups cap themselves independently.
+//
+//	go run ./examples/hierarchical
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"billcap"
+)
+
+func main() {
+	const sites = 12
+	dcs := billcap.SyntheticSites(sites)
+	pols := billcap.SyntheticPolicies(sites)
+
+	coord, err := billcap.NewCoordinator(dcs, pols, []int{3, 3, 3, 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	central, err := billcap.NewSystem(dcs, pols, billcap.SystemOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	demand := make([]float64, sites)
+	for i := range demand {
+		demand[i] = 150 + 13*float64(i%7)
+	}
+	lam := 0.65 * coord.Capacity()
+	in := billcap.HourInput{
+		TotalLambda:   lam,
+		PremiumLambda: 0.8 * lam,
+		DemandMW:      demand,
+		BudgetUSD:     math.Inf(1),
+	}
+
+	start := time.Now()
+	cd, err := central.DecideHour(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	centralTime := time.Since(start)
+
+	start = time.Now()
+	hd, err := coord.DecideHour(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hierTime := time.Since(start)
+
+	fmt.Printf("%d sites, %.3g req/h arriving\n\n", sites, lam)
+	fmt.Printf("centralized:  cost $%.0f/h in %v (one %d-site MILP)\n",
+		cd.PredictedCostUSD, centralTime.Round(time.Millisecond), sites)
+	fmt.Printf("hierarchical: cost $%.0f/h in %v (%d independent 3-site cappers)\n",
+		hd.PredictedCostUSD, hierTime.Round(time.Millisecond), len(coord.Groups))
+	fmt.Printf("optimality gap: %.2f%%\n\n",
+		100*(hd.PredictedCostUSD-cd.PredictedCostUSD)/cd.PredictedCostUSD)
+
+	fmt.Println("coordinator's split:")
+	for gi, g := range coord.Groups {
+		fmt.Printf("  %s (sites %v): λ=%.3g req/h\n", g.Name, g.SiteIdx, hd.GroupLambda[gi])
+	}
+	fmt.Println("\ngroup MILPs are independent — on a real deployment they run in parallel,")
+	fmt.Println("so decision latency stays flat as the fleet grows group by group.")
+}

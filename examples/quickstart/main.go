@@ -1,0 +1,54 @@
+// Quickstart: make one hourly bill-capping decision for the paper's
+// three-data-center system and compare the plan against the realized bill.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"billcap"
+)
+
+func main() {
+	// The paper's three sites (§VI-A) and the PJM-derived step policies.
+	sites := billcap.PaperSites()
+	policies := billcap.PaperPolicies(billcap.Policy1)
+	sys, err := billcap.NewSystem(sites, policies, billcap.SystemOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One invocation period: 1.5e12 requests arrive this hour, 80% of them
+	// from paying (premium) customers; the ISO reports each region's
+	// background demand; the budgeter allows $900 for the hour.
+	in := billcap.HourInput{
+		TotalLambda:   1.5e12,
+		PremiumLambda: 1.2e12,
+		DemandMW:      []float64{170, 190, 150},
+		BudgetUSD:     900,
+	}
+	dec, err := sys.DecideHour(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("decision branch: %v\n", dec.Step)
+	fmt.Printf("served: %.3g req/h (premium %.3g, ordinary %.3g)\n",
+		dec.Served, dec.ServedPremium, dec.ServedOrdinary)
+	for i, a := range dec.Sites {
+		fmt.Printf("  %-6s λ=%.3g req/h  p=%.1f MW  @ %.2f $/MWh  → $%.0f\n",
+			sites[i].Name, a.Lambda, a.PowerMW, a.PriceUSDPerMWh, a.CostUSD)
+	}
+	fmt.Printf("predicted hourly cost: $%.0f (budget $%.0f)\n", dec.PredictedCostUSD, in.BudgetUSD)
+
+	// What the market actually bills for this allocation (discrete servers,
+	// true step prices).
+	real, err := sys.Realize(dec.Lambdas(), in.DemandMW)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("realized hourly bill:  $%.0f (%d sites over their power cap)\n",
+		real.BillUSD(), real.CapViolations)
+}

@@ -1,0 +1,3 @@
+module billcap
+
+go 1.22

@@ -1,0 +1,315 @@
+// Package api exposes the bill capper as a JSON-over-HTTP control service —
+// the interface a production request-routing tier (e.g. an authoritative
+// DNS dispatcher, paper §III) would call once per invocation period.
+//
+// Endpoints:
+//
+//	GET  /healthz      liveness
+//	GET  /v1/sites     site inventory (capacity, caps, market)
+//	GET  /v1/policies  locational pricing policies
+//	POST /v1/decide    one hour's two-step capping decision
+//	POST /v1/realize   ground-truth billing of an allocation
+//	POST /v1/model     dump the hour's MILP in lp_solve-style text
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+
+	"billcap/internal/core"
+	"billcap/internal/dcmodel"
+	"billcap/internal/pricing"
+)
+
+// Server handles the control API for one system.
+type Server struct {
+	sys      *core.System
+	sites    []*dcmodel.Site
+	policies []pricing.Policy
+	mux      *http.ServeMux
+}
+
+// New builds the server over an assembled system.
+func New(dcs []*dcmodel.Site, policies []pricing.Policy, opts core.Options) (*Server, error) {
+	sys, err := core.NewSystem(dcs, policies, opts)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{sys: sys, sites: dcs, policies: policies, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/sites", s.handleSites)
+	s.mux.HandleFunc("/v1/policies", s.handlePolicies)
+	s.mux.HandleFunc("/v1/decide", s.handleDecide)
+	s.mux.HandleFunc("/v1/realize", s.handleRealize)
+	s.mux.HandleFunc("/v1/model", s.handleModel)
+	return s, nil
+}
+
+// Handler returns the HTTP handler (for http.Server or tests).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// SiteInfo is the inventory entry of /v1/sites.
+type SiteInfo struct {
+	Name          string  `json:"name"`
+	MaxServers    int     `json:"maxServers"`
+	PowerCapMW    float64 `json:"powerCapMW"`
+	MaxLambda     float64 `json:"maxLambdaReqPerHour"`
+	Market        string  `json:"market"`
+	FatTreeK      int     `json:"fatTreeK"`
+	CoolingEff    float64 `json:"coolingEfficiency"`
+	ServiceRateHz float64 `json:"perServerReqPerSec"`
+}
+
+func (s *Server) handleSites(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	out := make([]SiteInfo, len(s.sites))
+	for i, dc := range s.sites {
+		maxLam, err := dc.MaxLambda()
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		out[i] = SiteInfo{
+			Name:          dc.Name,
+			MaxServers:    dc.MaxServers,
+			PowerCapMW:    dc.PowerCapMW,
+			MaxLambda:     maxLam,
+			Market:        s.policies[i].Name,
+			FatTreeK:      dc.Net.K,
+			CoolingEff:    dc.CoolingEff,
+			ServiceRateHz: dc.Queue.Mu / 3600,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// PolicyInfo is one region's step policy in /v1/policies.
+type PolicyInfo struct {
+	Name     string    `json:"name"`
+	Location string    `json:"location"`
+	StepsMW  []float64 `json:"stepThresholdsMW"`
+	Rates    []float64 `json:"ratesUSDPerMWh"`
+}
+
+func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	out := make([]PolicyInfo, len(s.policies))
+	for i, p := range s.policies {
+		out[i] = PolicyInfo{
+			Name:     p.Name,
+			Location: p.Location,
+			StepsMW:  p.Fn.Thresholds(),
+			Rates:    p.Fn.Rates(),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// DecideRequest is the body of POST /v1/decide. A null/omitted budget means
+// uncapped.
+type DecideRequest struct {
+	TotalLambda   float64   `json:"totalLambda"`
+	PremiumLambda float64   `json:"premiumLambda"`
+	DemandMW      []float64 `json:"demandMW"`
+	BudgetUSD     *float64  `json:"budgetUSD"`
+}
+
+// SiteDecision is one site's share in a DecideResponse.
+type SiteDecision struct {
+	Site           string  `json:"site"`
+	Lambda         float64 `json:"lambda"`
+	PowerMW        float64 `json:"powerMW"`
+	PriceUSDPerMWh float64 `json:"priceUSDPerMWh"`
+	CostUSD        float64 `json:"costUSD"`
+	On             bool    `json:"on"`
+}
+
+// DecideResponse is the capper's answer.
+type DecideResponse struct {
+	Step             string         `json:"step"`
+	Served           float64        `json:"served"`
+	ServedPremium    float64        `json:"servedPremium"`
+	ServedOrdinary   float64        `json:"servedOrdinary"`
+	PredictedCostUSD float64        `json:"predictedCostUSD"`
+	Sites            []SiteDecision `json:"sites"`
+	SolverNodes      int            `json:"solverNodes"`
+	SolverSolves     int            `json:"solverSolves"`
+}
+
+func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req DecideRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	in := core.HourInput{
+		TotalLambda:   req.TotalLambda,
+		PremiumLambda: req.PremiumLambda,
+		DemandMW:      req.DemandMW,
+		BudgetUSD:     math.Inf(1),
+	}
+	if req.BudgetUSD != nil {
+		in.BudgetUSD = *req.BudgetUSD
+	}
+	if err := s.sys.ValidateInput(in); err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	dec, err := s.sys.DecideHour(in)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	resp := DecideResponse{
+		Step:             dec.Step.String(),
+		Served:           dec.Served,
+		ServedPremium:    dec.ServedPremium,
+		ServedOrdinary:   dec.ServedOrdinary,
+		PredictedCostUSD: dec.PredictedCostUSD,
+		SolverNodes:      dec.Solver.Nodes,
+		SolverSolves:     dec.Solver.Solves,
+	}
+	for i, a := range dec.Sites {
+		resp.Sites = append(resp.Sites, SiteDecision{
+			Site:           s.sites[i].Name,
+			Lambda:         a.Lambda,
+			PowerMW:        a.PowerMW,
+			PriceUSDPerMWh: a.PriceUSDPerMWh,
+			CostUSD:        a.CostUSD,
+			On:             a.On,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleModel dumps the hour's Step-1 MILP in lp_solve-style text, for
+// offline inspection with cmd/milpsolve. The request body is a
+// DecideRequest; the response is text/plain.
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req DecideRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	in := core.HourInput{
+		TotalLambda:   req.TotalLambda,
+		PremiumLambda: req.PremiumLambda,
+		DemandMW:      req.DemandMW,
+		BudgetUSD:     math.Inf(1),
+	}
+	var buf bytes.Buffer
+	if err := s.sys.WriteHourModel(&buf, in, in.TotalLambda); err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = buf.WriteTo(w)
+}
+
+// RealizeRequest is the body of POST /v1/realize.
+type RealizeRequest struct {
+	Lambdas  []float64 `json:"lambdas"`
+	DemandMW []float64 `json:"demandMW"`
+}
+
+// SiteRealized is one site's billed outcome.
+type SiteRealized struct {
+	Site           string  `json:"site"`
+	Lambda         float64 `json:"lambda"`
+	Servers        int     `json:"servers"`
+	PowerMW        float64 `json:"powerMW"`
+	RegionLoadMW   float64 `json:"regionLoadMW"`
+	PriceUSDPerMWh float64 `json:"priceUSDPerMWh"`
+	CostUSD        float64 `json:"costUSD"`
+	PenaltyUSD     float64 `json:"penaltyUSD"`
+	CapViolated    bool    `json:"capViolated"`
+}
+
+// RealizeResponse is the billed ground truth.
+type RealizeResponse struct {
+	CostUSD       float64        `json:"costUSD"`
+	PenaltyUSD    float64        `json:"penaltyUSD"`
+	BillUSD       float64        `json:"billUSD"`
+	Served        float64        `json:"served"`
+	Dropped       float64        `json:"dropped"`
+	CapViolations int            `json:"capViolations"`
+	Sites         []SiteRealized `json:"sites"`
+}
+
+func (s *Server) handleRealize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req RealizeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	real, err := s.sys.Realize(req.Lambdas, req.DemandMW)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	resp := RealizeResponse{
+		CostUSD:       real.CostUSD,
+		PenaltyUSD:    real.PenaltyUSD,
+		BillUSD:       real.BillUSD(),
+		Served:        real.ServedLambda,
+		Dropped:       real.DroppedLambda,
+		CapViolations: real.CapViolations,
+	}
+	for i, sr := range real.Sites {
+		resp.Sites = append(resp.Sites, SiteRealized{
+			Site:           s.sites[i].Name,
+			Lambda:         sr.Lambda,
+			Servers:        sr.Breakdown.Servers,
+			PowerMW:        sr.PowerMW,
+			RegionLoadMW:   sr.RegionLoadMW,
+			PriceUSDPerMWh: sr.PriceUSDPerMWh,
+			CostUSD:        sr.CostUSD,
+			PenaltyUSD:     sr.PenaltyUSD,
+			CapViolated:    sr.CapViolated,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

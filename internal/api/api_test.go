@@ -1,0 +1,214 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"billcap/internal/core"
+	"billcap/internal/dcmodel"
+	"billcap/internal/pricing"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	s, err := New(dcmodel.PaperSites(), pricing.PaperPolicies(pricing.Policy1), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func postJSON(t *testing.T, url string, body any, out any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestHealth(t *testing.T) {
+	ts := newTestServer(t)
+	var body map[string]string
+	resp := getJSON(t, ts.URL+"/healthz", &body)
+	if resp.StatusCode != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("health = %d %v", resp.StatusCode, body)
+	}
+}
+
+func TestSites(t *testing.T) {
+	ts := newTestServer(t)
+	var sites []SiteInfo
+	resp := getJSON(t, ts.URL+"/v1/sites", &sites)
+	if resp.StatusCode != http.StatusOK || len(sites) != 3 {
+		t.Fatalf("sites = %d, status %d", len(sites), resp.StatusCode)
+	}
+	if sites[0].Name != "DC1-B" || sites[0].MaxLambda <= 0 || sites[0].PowerCapMW != 105 {
+		t.Errorf("site[0] = %+v", sites[0])
+	}
+}
+
+func TestPolicies(t *testing.T) {
+	ts := newTestServer(t)
+	var pols []PolicyInfo
+	resp := getJSON(t, ts.URL+"/v1/policies", &pols)
+	if resp.StatusCode != http.StatusOK || len(pols) != 3 {
+		t.Fatalf("policies = %d, status %d", len(pols), resp.StatusCode)
+	}
+	if len(pols[0].Rates) != 5 || pols[0].Rates[0] != 10 {
+		t.Errorf("policy[0] = %+v", pols[0])
+	}
+}
+
+func TestDecideUncappedAndCapped(t *testing.T) {
+	ts := newTestServer(t)
+	req := DecideRequest{
+		TotalLambda:   1.5e12,
+		PremiumLambda: 1.2e12,
+		DemandMW:      []float64{170, 190, 150},
+	}
+	var dec DecideResponse
+	resp := postJSON(t, ts.URL+"/v1/decide", req, &dec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if dec.Step != "cost-min" || dec.Served <= 0 || len(dec.Sites) != 3 {
+		t.Fatalf("decision = %+v", dec)
+	}
+
+	tiny := 1.0
+	req.BudgetUSD = &tiny
+	var capped DecideResponse
+	resp = postJSON(t, ts.URL+"/v1/decide", req, &capped)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if capped.Step != "premium-only" {
+		t.Errorf("step = %q, want premium-only under a $1 budget", capped.Step)
+	}
+	if capped.ServedOrdinary != 0 {
+		t.Errorf("ordinary served %v", capped.ServedOrdinary)
+	}
+}
+
+func TestDecideThenRealizeRoundTrip(t *testing.T) {
+	ts := newTestServer(t)
+	var dec DecideResponse
+	postJSON(t, ts.URL+"/v1/decide", DecideRequest{
+		TotalLambda: 1e12, DemandMW: []float64{170, 190, 150},
+	}, &dec)
+	lams := make([]float64, len(dec.Sites))
+	for i, sd := range dec.Sites {
+		lams[i] = sd.Lambda
+	}
+	var real RealizeResponse
+	resp := postJSON(t, ts.URL+"/v1/realize", RealizeRequest{
+		Lambdas: lams, DemandMW: []float64{170, 190, 150},
+	}, &real)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if real.BillUSD <= 0 || real.CapViolations != 0 {
+		t.Fatalf("realize = %+v", real)
+	}
+	if math.Abs(real.BillUSD-dec.PredictedCostUSD) > 0.05*dec.PredictedCostUSD {
+		t.Errorf("bill %v far from prediction %v", real.BillUSD, dec.PredictedCostUSD)
+	}
+}
+
+func TestErrorStatuses(t *testing.T) {
+	ts := newTestServer(t)
+	// Wrong methods.
+	if resp := postJSON(t, ts.URL+"/v1/sites", struct{}{}, nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/sites = %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/decide", nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/decide = %d", resp.StatusCode)
+	}
+	// Malformed JSON.
+	resp, err := http.Post(ts.URL+"/v1/decide", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON = %d", resp.StatusCode)
+	}
+	// Semantically invalid input.
+	if resp := postJSON(t, ts.URL+"/v1/decide", DecideRequest{
+		TotalLambda: -1, DemandMW: []float64{1, 2, 3},
+	}, nil); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("invalid input = %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/v1/realize", RealizeRequest{
+		Lambdas: []float64{1}, DemandMW: []float64{1, 2, 3},
+	}, nil); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("realize arity = %d", resp.StatusCode)
+	}
+}
+
+func TestModelDump(t *testing.T) {
+	ts := newTestServer(t)
+	buf, _ := json.Marshal(DecideRequest{
+		TotalLambda: 1e12, DemandMW: []float64{170, 190, 150},
+	})
+	resp, err := http.Post(ts.URL+"/v1/model", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.Contains(text, "min:") || !strings.Contains(text, "int ") {
+		t.Fatalf("dump does not look like an LP model:\n%.200s", text)
+	}
+	// Bad input → 422.
+	bad, _ := json.Marshal(DecideRequest{TotalLambda: -1, DemandMW: []float64{1, 2, 3}})
+	resp2, err := http.Post(ts.URL+"/v1/model", "application/json", bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("bad input status %d", resp2.StatusCode)
+	}
+}

@@ -1,0 +1,133 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"billcap/internal/core"
+	"billcap/internal/dcmodel"
+	"billcap/internal/pricing"
+)
+
+func newBaseline(t *testing.T, v Variant) *MinOnly {
+	t.Helper()
+	m, err := New(dcmodel.PaperSites(), pricing.PaperPolicies(pricing.Policy1), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNames(t *testing.T) {
+	if got := newBaseline(t, Avg).Name(); got != "Min-Only (Avg)" {
+		t.Errorf("name = %q", got)
+	}
+	if got := newBaseline(t, Low).Name(); got != "Min-Only (Low)" {
+		t.Errorf("name = %q", got)
+	}
+	if got := Variant(9).String(); got != "Variant(9)" {
+		t.Errorf("unknown variant = %q", got)
+	}
+}
+
+func TestDecideIgnoresBudget(t *testing.T) {
+	m := newBaseline(t, Avg)
+	in := core.HourInput{
+		TotalLambda:   1.5e12,
+		PremiumLambda: 1.2e12,
+		DemandMW:      []float64{170, 190, 150},
+		BudgetUSD:     0.01, // absurdly tight; Min-Only must not care
+	}
+	d, err := m.Decide(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Served-in.TotalLambda) > 1e-6*in.TotalLambda {
+		t.Errorf("served %v, want all %v despite budget", d.Served, in.TotalLambda)
+	}
+	if d.ServedPremium != in.PremiumLambda {
+		t.Errorf("premium %v, want %v", d.ServedPremium, in.PremiumLambda)
+	}
+	if d.PredictedCostUSD <= in.BudgetUSD {
+		t.Errorf("cost %v did not blow through the budget", d.PredictedCostUSD)
+	}
+}
+
+func TestDecideOverCapacityTruncates(t *testing.T) {
+	m := newBaseline(t, Low)
+	over := 2 * m.System().MaxThroughput()
+	in := core.HourInput{
+		TotalLambda:   over,
+		PremiumLambda: over / 2,
+		DemandMW:      []float64{170, 190, 150},
+		BudgetUSD:     math.Inf(1),
+	}
+	d, err := m.Decide(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Step != core.StepOverCapacity {
+		t.Errorf("step = %v, want over-capacity", d.Step)
+	}
+	if d.Served > m.System().MaxThroughput()*(1+1e-9) {
+		t.Errorf("served %v beyond believed capacity %v", d.Served, m.System().MaxThroughput())
+	}
+}
+
+func TestAvgAndLowAllocateDifferently(t *testing.T) {
+	// The two price views rank sites differently, so at moderate load their
+	// allocations should differ somewhere.
+	avg := newBaseline(t, Avg)
+	low := newBaseline(t, Low)
+	in := core.HourInput{
+		TotalLambda:   2e12,
+		PremiumLambda: 1.6e12,
+		DemandMW:      []float64{170, 190, 150},
+		BudgetUSD:     math.Inf(1),
+	}
+	da, err := avg.Decide(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, err := low.Decide(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range da.Sites {
+		if math.Abs(da.Sites[i].Lambda-dl.Sites[i].Lambda) > 1e-3*in.TotalLambda {
+			same = false
+		}
+	}
+	if same {
+		t.Log("Avg and Low chose identical allocations at this load (acceptable but unexpected)")
+	}
+	// Both must serve everything.
+	if math.Abs(da.Served-in.TotalLambda) > 1e-6*in.TotalLambda ||
+		math.Abs(dl.Served-in.TotalLambda) > 1e-6*in.TotalLambda {
+		t.Errorf("baselines dropped load: %v / %v of %v", da.Served, dl.Served, in.TotalLambda)
+	}
+}
+
+func TestBaselineBelievedCostUnderestimatesRealizedBill(t *testing.T) {
+	// Min-Only's two blind spots (flat prices, server-only power) mean its
+	// predicted cost must undershoot the true bill.
+	m := newBaseline(t, Low)
+	in := core.HourInput{
+		TotalLambda:   1.5e12,
+		PremiumLambda: 1.2e12,
+		DemandMW:      []float64{170, 190, 150},
+		BudgetUSD:     math.Inf(1),
+	}
+	d, err := m.Decide(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.System().Realize(d.Lambdas(), in.DemandMW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PredictedCostUSD >= r.BillUSD() {
+		t.Errorf("believed cost %v not below realized bill %v", d.PredictedCostUSD, r.BillUSD())
+	}
+}

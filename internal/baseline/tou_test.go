@@ -1,0 +1,104 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"billcap/internal/core"
+	"billcap/internal/dcmodel"
+	"billcap/internal/pricing"
+)
+
+func newTOU(t *testing.T) *TimeOfUse {
+	t.Helper()
+	tou, err := NewTimeOfUse(dcmodel.PaperSites(), pricing.PaperPolicies(pricing.Policy1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tou
+}
+
+func TestOnPeakWindow(t *testing.T) {
+	cases := map[int]bool{
+		0: false, 7: false, 8: true, 12: true, 19: true, 20: false, 23: false,
+		24: false, 24 + 9: true, // next day
+		-1: false, // hour before the epoch still well-defined
+	}
+	for hour, want := range cases {
+		if got := OnPeak(hour); got != want {
+			t.Errorf("OnPeak(%d) = %v, want %v", hour, got, want)
+		}
+	}
+}
+
+func TestTOUName(t *testing.T) {
+	if got := newTOU(t).Name(); got != "TOU (two-price)" {
+		t.Errorf("name = %q", got)
+	}
+}
+
+func TestTOUServesEverythingIgnoringBudget(t *testing.T) {
+	tou := newTOU(t)
+	in := core.HourInput{
+		Hour:          12,
+		TotalLambda:   1.5e12,
+		PremiumLambda: 1.2e12,
+		DemandMW:      []float64{170, 190, 150},
+		BudgetUSD:     0.01,
+	}
+	d, err := tou.Decide(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Served-in.TotalLambda) > 1e-6*in.TotalLambda {
+		t.Errorf("served %v of %v", d.Served, in.TotalLambda)
+	}
+}
+
+func TestTOUTariffSwitchChangesBelief(t *testing.T) {
+	// The same load must look cheaper to the off-peak system than to the
+	// on-peak one (its believed prices are lower).
+	tou := newTOU(t)
+	base := core.HourInput{
+		TotalLambda:   1e12,
+		PremiumLambda: 8e11,
+		DemandMW:      []float64{170, 190, 150},
+		BudgetUSD:     math.Inf(1),
+	}
+	night := base
+	night.Hour = 3
+	day := base
+	day.Hour = 13
+	dn, err := tou.Decide(night)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd, err := tou.Decide(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dn.PredictedCostUSD >= dd.PredictedCostUSD {
+		t.Errorf("off-peak belief %v not below on-peak %v", dn.PredictedCostUSD, dd.PredictedCostUSD)
+	}
+}
+
+func TestTOUOverCapacity(t *testing.T) {
+	tou := newTOU(t)
+	// Way over fleet capacity.
+	in := core.HourInput{
+		Hour:        1,
+		TotalLambda: 1e14,
+		DemandMW:    []float64{170, 190, 150},
+		BudgetUSD:   math.Inf(1),
+	}
+	d, err := tou.Decide(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Step != core.StepOverCapacity {
+		t.Errorf("step = %v", d.Step)
+	}
+	if d.Served >= in.TotalLambda {
+		t.Errorf("served everything despite over-capacity load")
+	}
+}

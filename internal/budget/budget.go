@@ -1,0 +1,119 @@
+// Package budget implements the paper's budgeter (§III, §VI-B): it splits a
+// monthly electricity budget into hourly budgets proportional to the
+// predicted workload of each hour, and carries unused budget forward to the
+// remaining invocation periods of the same week.
+package budget
+
+import (
+	"fmt"
+
+	"billcap/internal/timeseries"
+)
+
+// HoursPerWeek is the carryover window: unused budget survives within the
+// week it was allocated in and resets at week boundaries.
+const HoursPerWeek = 168
+
+// Budgeter tracks the monthly budget across the invocation periods of one
+// budgeting period (a month of hourly slots).
+type Budgeter struct {
+	monthly float64
+	shares  timeseries.Series // per-hour base allocation, sums to monthly
+	pool    float64           // carryover within the current week (may be negative after a mandatory overrun)
+	next    int               // next hour to be recorded
+	spent   float64
+}
+
+// New builds a budgeter for the given monthly budget and the predicted
+// hourly workload of the month. Hourly shares are proportional to the
+// prediction; an all-zero prediction falls back to uniform shares.
+func New(monthlyUSD float64, predicted timeseries.Series) (*Budgeter, error) {
+	if monthlyUSD < 0 {
+		return nil, fmt.Errorf("budget: negative monthly budget %v", monthlyUSD)
+	}
+	if len(predicted) == 0 {
+		return nil, fmt.Errorf("budget: empty prediction")
+	}
+	for h, v := range predicted {
+		if v < 0 {
+			return nil, fmt.Errorf("budget: negative prediction %v at hour %d", v, h)
+		}
+	}
+	total := predicted.Sum()
+	shares := make(timeseries.Series, len(predicted))
+	if total <= 0 {
+		for h := range shares {
+			shares[h] = monthlyUSD / float64(len(shares))
+		}
+	} else {
+		for h, v := range predicted {
+			shares[h] = monthlyUSD * v / total
+		}
+	}
+	return &Budgeter{monthly: monthlyUSD, shares: shares}, nil
+}
+
+// Horizon returns the number of hourly slots in the budgeting period.
+func (b *Budgeter) Horizon() int { return len(b.shares) }
+
+// Monthly returns the monthly budget.
+func (b *Budgeter) Monthly() float64 { return b.monthly }
+
+// Share returns hour h's base allocation (before carryover).
+func (b *Budgeter) Share(h int) float64 {
+	if h < 0 || h >= len(b.shares) {
+		return 0
+	}
+	return b.shares[h]
+}
+
+// HourlyBudget returns the budget available to the next hour: its base share
+// plus whatever this week's earlier hours left unused (or overdrew). The
+// result is never negative.
+func (b *Budgeter) HourlyBudget() float64 {
+	v := b.Share(b.next) + b.pool
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Record charges the next hour with its realized spend and advances the
+// clock. The difference between the hour's available budget and the spend is
+// carried into the pool; at each week boundary the pool resets (the paper
+// carries unused budget only "to the remaining invocation periods in the
+// same week").
+func (b *Budgeter) Record(spentUSD float64) error {
+	if b.next >= len(b.shares) {
+		return fmt.Errorf("budget: period exhausted after %d hours", len(b.shares))
+	}
+	if spentUSD < 0 {
+		return fmt.Errorf("budget: negative spend %v", spentUSD)
+	}
+	b.pool += b.Share(b.next) - spentUSD
+	b.spent += spentUSD
+	b.next++
+	if b.next%HoursPerWeek == 0 {
+		b.pool = 0
+	}
+	return nil
+}
+
+// Hour returns the index of the next hour to be recorded.
+func (b *Budgeter) Hour() int { return b.next }
+
+// Spent returns the cumulative realized spend.
+func (b *Budgeter) Spent() float64 { return b.spent }
+
+// Remaining returns monthly budget minus cumulative spend (may be negative
+// when mandatory premium service overran the budget).
+func (b *Budgeter) Remaining() float64 { return b.monthly - b.spent }
+
+// Utilization returns spend as a fraction of the monthly budget (0 when the
+// budget is zero).
+func (b *Budgeter) Utilization() float64 {
+	if b.monthly == 0 {
+		return 0
+	}
+	return b.spent / b.monthly
+}

@@ -1,0 +1,222 @@
+package budget
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"billcap/internal/timeseries"
+)
+
+func near(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func uniformPred(hours int) timeseries.Series {
+	p := make(timeseries.Series, hours)
+	for i := range p {
+		p[i] = 1
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(-1, uniformPred(10)); err == nil {
+		t.Error("negative budget accepted")
+	}
+	if _, err := New(100, nil); err == nil {
+		t.Error("empty prediction accepted")
+	}
+	if _, err := New(100, timeseries.Series{1, -2}); err == nil {
+		t.Error("negative prediction accepted")
+	}
+}
+
+func TestSharesSumToMonthly(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		hours := 24 + r.Intn(720)
+		pred := make(timeseries.Series, hours)
+		for i := range pred {
+			pred[i] = r.Float64() * 1e6
+		}
+		monthly := 1e5 + r.Float64()*1e7
+		b, err := New(monthly, pred)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for h := 0; h < hours; h++ {
+			sum += b.Share(h)
+		}
+		return near(sum, monthly, 1e-6*monthly)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroPredictionUniform(t *testing.T) {
+	b, err := New(240, make(timeseries.Series, 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < 24; h++ {
+		if !near(b.Share(h), 10, 1e-12) {
+			t.Fatalf("share(%d) = %v, want 10", h, b.Share(h))
+		}
+	}
+}
+
+func TestSharesProportionalToPrediction(t *testing.T) {
+	b, err := New(300, timeseries.Series{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{50, 100, 150}
+	for h, w := range want {
+		if !near(b.Share(h), w, 1e-9) {
+			t.Errorf("share(%d) = %v, want %v", h, b.Share(h), w)
+		}
+	}
+	if b.Share(-1) != 0 || b.Share(3) != 0 {
+		t.Errorf("out-of-range share not zero")
+	}
+}
+
+func TestCarryoverGrowsWhenUnderspending(t *testing.T) {
+	// Spend nothing: available budget must grow hour over hour within a week
+	// (the effect visible in the paper's Fig. 6).
+	b, err := New(1680, uniformPred(336)) // 10 per hour, 2 weeks
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for h := 0; h < 167; h++ {
+		avail := b.HourlyBudget()
+		if avail <= prev {
+			t.Fatalf("hour %d: available %v did not grow from %v", h, avail, prev)
+		}
+		prev = avail
+		if err := b.Record(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCarryoverResetsAtWeekBoundary(t *testing.T) {
+	b, err := New(3360, uniformPred(336)) // 10 per hour
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < HoursPerWeek; h++ {
+		if err := b.Record(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First hour of week 2: pool reset, only the base share is available.
+	if got := b.HourlyBudget(); !near(got, 10, 1e-9) {
+		t.Errorf("hour 168 available = %v, want base share 10", got)
+	}
+}
+
+func TestDeficitCarriesWithinWeek(t *testing.T) {
+	b, err := New(100, uniformPred(10)) // 10 per hour
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Record(25); err != nil { // overspend by 15
+		t.Fatal(err)
+	}
+	// Next hour: 10 − 15 < 0 → clamped to 0.
+	if got := b.HourlyBudget(); got != 0 {
+		t.Errorf("post-overrun available = %v, want 0", got)
+	}
+	if err := b.Record(0); err != nil {
+		t.Fatal(err)
+	}
+	// Deficit shrinks as shares accrue: pool = -15 + 10 = -5, so hour 2 has 5.
+	if got := b.HourlyBudget(); !near(got, 5, 1e-9) {
+		t.Errorf("hour 2 available = %v, want 5", got)
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	b, err := New(100, uniformPred(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Horizon() != 4 || b.Monthly() != 100 {
+		t.Errorf("horizon/monthly = %d/%v", b.Horizon(), b.Monthly())
+	}
+	spends := []float64{20, 30, 10, 50}
+	for _, s := range spends {
+		if err := b.Record(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Spent() != 110 || !near(b.Remaining(), -10, 1e-12) {
+		t.Errorf("spent/remaining = %v/%v", b.Spent(), b.Remaining())
+	}
+	if !near(b.Utilization(), 1.1, 1e-12) {
+		t.Errorf("utilization = %v", b.Utilization())
+	}
+	if err := b.Record(1); err == nil {
+		t.Error("recording past the horizon accepted")
+	}
+	if b.Hour() != 4 {
+		t.Errorf("hour = %d", b.Hour())
+	}
+}
+
+func TestRecordNegativeSpend(t *testing.T) {
+	b, _ := New(10, uniformPred(2))
+	if err := b.Record(-1); err == nil {
+		t.Error("negative spend accepted")
+	}
+}
+
+func TestZeroBudgetUtilization(t *testing.T) {
+	b, _ := New(0, uniformPred(2))
+	if b.Utilization() != 0 {
+		t.Errorf("zero-budget utilization = %v", b.Utilization())
+	}
+	if b.HourlyBudget() != 0 {
+		t.Errorf("zero-budget hourly = %v", b.HourlyBudget())
+	}
+}
+
+func TestConservationProperty(t *testing.T) {
+	// Whatever the spending pattern, total shares handed out equal the
+	// monthly budget, and Spent() equals the sum of recorded spends.
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		hours := 10 + r.Intn(300)
+		pred := make(timeseries.Series, hours)
+		for i := range pred {
+			pred[i] = r.Float64()
+		}
+		monthly := 1000.0
+		b, err := New(monthly, pred)
+		if err != nil {
+			return false
+		}
+		total := 0.0
+		for h := 0; h < hours; h++ {
+			avail := b.HourlyBudget()
+			if avail < 0 {
+				return false
+			}
+			spend := avail * r.Float64()
+			total += spend
+			if err := b.Record(spend); err != nil {
+				return false
+			}
+		}
+		// Spending at most the available budget every hour can never exceed
+		// the monthly total (weekly resets only forfeit budget, never add).
+		return near(b.Spent(), total, 1e-9*(1+total)) && b.Spent() <= monthly+1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"errors"
+	"math"
+)
+
+// budgetSlack absorbs floating-point noise when comparing a predicted cost
+// against the hourly budget.
+const budgetSlack = 1e-6
+
+// DecideHour runs the full two-step bill capping algorithm (paper §III):
+//
+//  1. Minimize cost for the whole workload. If the minimum fits the hourly
+//     budget, enforce it.
+//  2. Otherwise maximize admitted throughput within the budget. If that
+//     serves at least the premium traffic, premium gets full QoS and
+//     ordinary traffic gets the remainder. If not even premium fits, fall
+//     back to cost-minimizing the premium traffic alone — the budget is
+//     knowingly violated because premium QoS is mandatory.
+//
+// Arrivals beyond fleet capacity are handled by serving the maximum
+// carryable load (StepOverCapacity).
+func (s *System) DecideHour(in HourInput) (Decision, error) {
+	if err := s.ValidateInput(in); err != nil {
+		return Decision{}, err
+	}
+	var stats SolverStats
+
+	// Step 1: minimize cost for everything.
+	d1, err := s.MinimizeCost(in, in.TotalLambda, &stats)
+	switch {
+	case err == nil:
+		if d1.PredictedCostUSD <= in.BudgetUSD*(1+budgetSlack)+budgetSlack {
+			d1.Step = StepCostMin
+			d1.ServedPremium = math.Min(in.PremiumLambda, d1.Served)
+			d1.ServedOrdinary = d1.Served - d1.ServedPremium
+			d1.Solver = stats
+			return d1, nil
+		}
+	case errors.Is(err, ErrInfeasible):
+		// Over capacity; fall through to throughput maximization.
+	default:
+		return Decision{}, err
+	}
+	overCapacity := err != nil
+
+	// Step 2: maximize throughput within the budget.
+	d2, err := s.MaximizeThroughput(in, &stats)
+	if err != nil {
+		return Decision{}, err
+	}
+	if d2.Served+budgetSlack*in.TotalLambda >= in.PremiumLambda {
+		d2.Step = StepBudgetCapped
+		if overCapacity {
+			d2.Step = StepOverCapacity
+		}
+		d2.ServedPremium = math.Min(in.PremiumLambda, d2.Served)
+		d2.ServedOrdinary = d2.Served - d2.ServedPremium
+		d2.Solver = stats
+		return d2, nil
+	}
+
+	// Step 2 fallback: serve premium only, at minimum cost, over budget.
+	d3, err := s.MinimizeCost(in, in.PremiumLambda, &stats)
+	if err == nil {
+		d3.Step = StepPremiumOnly
+		d3.ServedPremium = d3.Served
+		d3.ServedOrdinary = 0
+		d3.Solver = stats
+		return d3, nil
+	}
+	if !errors.Is(err, ErrInfeasible) {
+		return Decision{}, err
+	}
+
+	// Premium alone exceeds capacity: serve the maximum carryable premium
+	// load, ignoring the budget.
+	inPrem := in
+	inPrem.TotalLambda = in.PremiumLambda
+	inPrem.BudgetUSD = math.Inf(1)
+	d4, err := s.MaximizeThroughput(inPrem, &stats)
+	if err != nil {
+		return Decision{}, err
+	}
+	d4.Step = StepOverCapacity
+	d4.ServedPremium = d4.Served
+	d4.ServedOrdinary = 0
+	d4.Solver = stats
+	return d4, nil
+}

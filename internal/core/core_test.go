@@ -1,0 +1,340 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"billcap/internal/dcmodel"
+	"billcap/internal/pricing"
+)
+
+func paperSystem(t *testing.T, opts Options) *System {
+	t.Helper()
+	s, err := NewSystem(dcmodel.PaperSites(), pricing.PaperPolicies(pricing.Policy1), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func demand3() []float64 { return []float64{170, 190, 150} }
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(nil, nil, Options{}); err == nil {
+		t.Error("empty system accepted")
+	}
+	if _, err := NewSystem(dcmodel.PaperSites(), pricing.PaperPolicies(pricing.Policy1)[:2], Options{}); err == nil {
+		t.Error("site/policy count mismatch accepted")
+	}
+	bad := dcmodel.PaperSites()
+	bad[0].CoolingEff = -1
+	if _, err := NewSystem(bad, pricing.PaperPolicies(pricing.Policy1), Options{}); err == nil {
+		t.Error("invalid site accepted")
+	}
+}
+
+func TestValidateInput(t *testing.T) {
+	s := paperSystem(t, Options{})
+	ok := HourInput{TotalLambda: 1e11, PremiumLambda: 8e10, DemandMW: demand3(), BudgetUSD: math.Inf(1)}
+	if err := s.ValidateInput(ok); err != nil {
+		t.Fatalf("good input rejected: %v", err)
+	}
+	bad := []HourInput{
+		{TotalLambda: -1, DemandMW: demand3(), BudgetUSD: 1},
+		{TotalLambda: 1, PremiumLambda: 2, DemandMW: demand3(), BudgetUSD: 1},
+		{TotalLambda: 1, DemandMW: []float64{1}, BudgetUSD: 1},
+		{TotalLambda: 1, DemandMW: demand3(), BudgetUSD: -5},
+		{TotalLambda: 1, DemandMW: []float64{-1, 2, 3}, BudgetUSD: 1},
+		{TotalLambda: 1, DemandMW: demand3(), BudgetUSD: math.NaN()},
+	}
+	for i, in := range bad {
+		if err := s.ValidateInput(in); err == nil {
+			t.Errorf("bad input %d accepted", i)
+		}
+	}
+}
+
+func TestMinimizeCostServesEverything(t *testing.T) {
+	s := paperSystem(t, Options{})
+	in := HourInput{TotalLambda: 1.5e12, PremiumLambda: 1.2e12, DemandMW: demand3(), BudgetUSD: math.Inf(1)}
+	var stats SolverStats
+	d, err := s.MinimizeCost(in, in.TotalLambda, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Served-in.TotalLambda) > 1e-6*in.TotalLambda {
+		t.Errorf("served %v, want all of %v", d.Served, in.TotalLambda)
+	}
+	if d.PredictedCostUSD <= 0 {
+		t.Errorf("predicted cost = %v, want positive", d.PredictedCostUSD)
+	}
+	if stats.Solves != 1 || stats.Nodes < 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+	// Realization tracks the prediction within the integer-rounding slack.
+	r, err := s.Realize(d.Lambdas(), in.DemandMW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DroppedLambda > 1e-6*in.TotalLambda {
+		t.Errorf("dropped %v", r.DroppedLambda)
+	}
+	if r.CapViolations != 0 {
+		t.Errorf("cap violations = %d", r.CapViolations)
+	}
+	rel := math.Abs(r.CostUSD-d.PredictedCostUSD) / d.PredictedCostUSD
+	if rel > 0.02 {
+		t.Errorf("realized cost %v vs predicted %v (rel %.3f)", r.CostUSD, d.PredictedCostUSD, rel)
+	}
+}
+
+func TestMinimizeCostZeroLoad(t *testing.T) {
+	s := paperSystem(t, Options{})
+	in := HourInput{TotalLambda: 0, PremiumLambda: 0, DemandMW: demand3(), BudgetUSD: math.Inf(1)}
+	d, err := s.MinimizeCost(in, 0, &SolverStats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PredictedCostUSD != 0 || d.Served != 0 {
+		t.Errorf("zero load: cost %v served %v", d.PredictedCostUSD, d.Served)
+	}
+}
+
+func TestMinimizeCostInfeasibleOverCapacity(t *testing.T) {
+	s := paperSystem(t, Options{})
+	over := 2 * s.MaxThroughput()
+	in := HourInput{TotalLambda: over, PremiumLambda: 0, DemandMW: demand3(), BudgetUSD: math.Inf(1)}
+	_, err := s.MinimizeCost(in, over, &SolverStats{})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestLMPAwareBeatsPriceTaker(t *testing.T) {
+	// The headline claim (paper Fig. 3): at identical load, the LMP-aware
+	// optimizer's realized bill is never above the price-taker baselines',
+	// and is strictly lower somewhere in the load range.
+	lmp := paperSystem(t, Options{Scope: dcmodel.FullPower, PriceView: ViewLMP})
+	avg := paperSystem(t, Options{Scope: dcmodel.ServerOnly, PriceView: ViewFlatAvg})
+	low := paperSystem(t, Options{Scope: dcmodel.ServerOnly, PriceView: ViewFlatLow})
+
+	strictlyBetter := 0
+	for _, lam := range []float64{4e11, 9e11, 1.4e12, 1.9e12, 2.4e12} {
+		in := HourInput{TotalLambda: lam, PremiumLambda: 0.8 * lam, DemandMW: demand3(), BudgetUSD: math.Inf(1)}
+		dl, err := lmp.MinimizeCost(in, lam, &SolverStats{})
+		if err != nil {
+			t.Fatalf("λ=%v lmp: %v", lam, err)
+		}
+		rl, err := lmp.Realize(dl.Lambdas(), in.DemandMW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, base := range []*System{avg, low} {
+			db, err := base.MinimizeCost(in, lam, &SolverStats{})
+			if err != nil {
+				t.Fatalf("λ=%v baseline: %v", lam, err)
+			}
+			rb, err := lmp.Realize(db.Lambdas(), in.DemandMW) // bill at the TRUE policy
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rl.BillUSD() > rb.BillUSD()*1.001 {
+				t.Errorf("λ=%v: LMP-aware bill %v above baseline %v", lam, rl.BillUSD(), rb.BillUSD())
+			}
+			if rl.BillUSD() < rb.BillUSD()*0.995 {
+				strictlyBetter++
+			}
+		}
+	}
+	if strictlyBetter == 0 {
+		t.Error("LMP-aware never strictly beat the price takers across the load range")
+	}
+}
+
+func TestDecideHourAbundantBudget(t *testing.T) {
+	s := paperSystem(t, Options{})
+	in := HourInput{TotalLambda: 1e12, PremiumLambda: 8e11, DemandMW: demand3(), BudgetUSD: 1e9}
+	d, err := s.DecideHour(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Step != StepCostMin {
+		t.Errorf("step = %v, want cost-min", d.Step)
+	}
+	if math.Abs(d.ServedPremium-8e11) > 1 || math.Abs(d.ServedOrdinary-2e11) > 1 {
+		t.Errorf("served premium/ordinary = %v/%v", d.ServedPremium, d.ServedOrdinary)
+	}
+}
+
+func TestDecideHourUncapped(t *testing.T) {
+	s := paperSystem(t, Options{})
+	in := HourInput{TotalLambda: 1e12, PremiumLambda: 8e11, DemandMW: demand3(), BudgetUSD: math.Inf(1)}
+	d, err := s.DecideHour(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Step != StepCostMin {
+		t.Errorf("step = %v, want cost-min", d.Step)
+	}
+}
+
+func TestDecideHourTightBudgetKeepsPremium(t *testing.T) {
+	s := paperSystem(t, Options{})
+	lam := 1.5e12
+	in := HourInput{TotalLambda: lam, PremiumLambda: 0.8 * lam, DemandMW: demand3(), BudgetUSD: math.Inf(1)}
+	// Find the uncapped cost, then budget below it but above premium-only.
+	full, err := s.DecideHour(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prem Decision
+	prem, err = s.MinimizeCost(in, in.PremiumLambda, &SolverStats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.BudgetUSD = (full.PredictedCostUSD + prem.PredictedCostUSD) / 2
+	d, err := s.DecideHour(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Step != StepBudgetCapped {
+		t.Fatalf("step = %v, want budget-capped (budget %v between %v and %v)",
+			d.Step, in.BudgetUSD, prem.PredictedCostUSD, full.PredictedCostUSD)
+	}
+	if d.ServedPremium < in.PremiumLambda*(1-1e-9) {
+		t.Errorf("premium served %v < %v", d.ServedPremium, in.PremiumLambda)
+	}
+	if d.ServedOrdinary >= 0.2*lam {
+		t.Errorf("ordinary served %v, want partial (< %v)", d.ServedOrdinary, 0.2*lam)
+	}
+	if d.PredictedCostUSD > in.BudgetUSD*(1+1e-6) {
+		t.Errorf("predicted cost %v over budget %v", d.PredictedCostUSD, in.BudgetUSD)
+	}
+}
+
+func TestDecideHourPremiumOnlyViolatesBudget(t *testing.T) {
+	s := paperSystem(t, Options{})
+	lam := 1.5e12
+	in := HourInput{TotalLambda: lam, PremiumLambda: 0.8 * lam, DemandMW: demand3(), BudgetUSD: 1}
+	d, err := s.DecideHour(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Step != StepPremiumOnly {
+		t.Fatalf("step = %v, want premium-only", d.Step)
+	}
+	if math.Abs(d.ServedPremium-in.PremiumLambda) > 1e-6*lam {
+		t.Errorf("premium served %v, want all %v", d.ServedPremium, in.PremiumLambda)
+	}
+	if d.ServedOrdinary != 0 {
+		t.Errorf("ordinary served %v, want 0", d.ServedOrdinary)
+	}
+	if d.PredictedCostUSD <= in.BudgetUSD {
+		t.Errorf("cost %v did not exceed the token budget", d.PredictedCostUSD)
+	}
+}
+
+func TestDecideHourOverCapacity(t *testing.T) {
+	s := paperSystem(t, Options{})
+	over := 1.5 * s.MaxThroughput()
+	in := HourInput{TotalLambda: over, PremiumLambda: 0.5 * over, DemandMW: demand3(), BudgetUSD: math.Inf(1)}
+	d, err := s.DecideHour(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Step != StepOverCapacity {
+		t.Fatalf("step = %v, want over-capacity", d.Step)
+	}
+	if d.Served > s.MaxThroughput()*(1+1e-9) {
+		t.Errorf("served %v beyond capacity %v", d.Served, s.MaxThroughput())
+	}
+	if d.Served < 0.95*s.MaxThroughput() {
+		t.Errorf("served %v, want close to capacity %v", d.Served, s.MaxThroughput())
+	}
+}
+
+func TestDecideHourPremiumOverCapacity(t *testing.T) {
+	s := paperSystem(t, Options{})
+	over := 1.5 * s.MaxThroughput()
+	in := HourInput{TotalLambda: over, PremiumLambda: over, DemandMW: demand3(), BudgetUSD: 1}
+	d, err := s.DecideHour(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Step != StepOverCapacity {
+		t.Fatalf("step = %v, want over-capacity", d.Step)
+	}
+	if d.ServedOrdinary != 0 {
+		t.Errorf("ordinary served %v, want 0", d.ServedOrdinary)
+	}
+}
+
+func TestRealizeValidation(t *testing.T) {
+	s := paperSystem(t, Options{})
+	if _, err := s.Realize([]float64{1}, demand3()); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := s.Realize([]float64{-1, 0, 0}, demand3()); err == nil {
+		t.Error("negative load accepted")
+	}
+}
+
+func TestRealizeClampsToPhysicalCapacity(t *testing.T) {
+	s := paperSystem(t, Options{})
+	huge := []float64{1e14, 0, 0}
+	r, err := s.Realize(huge, demand3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DroppedLambda <= 0 {
+		t.Errorf("no load dropped despite impossible allocation")
+	}
+	if r.Sites[0].CapViolated == false {
+		t.Errorf("site at physical max should violate its power cap")
+	}
+}
+
+func TestRealizePriceMatchesPolicy(t *testing.T) {
+	s := paperSystem(t, Options{})
+	lams := []float64{5e11, 3e11, 4e11}
+	d := demand3()
+	r, err := s.Realize(lams, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sr := range r.Sites {
+		wantPrice := s.Sites[i].Policy.Price(d[i] + sr.PowerMW)
+		if sr.PriceUSDPerMWh != wantPrice {
+			t.Errorf("site %d price %v, want %v", i, sr.PriceUSDPerMWh, wantPrice)
+		}
+		if math.Abs(sr.CostUSD-wantPrice*sr.PowerMW) > 1e-9 {
+			t.Errorf("site %d cost %v, want price×power %v", i, sr.CostUSD, wantPrice*sr.PowerMW)
+		}
+		if sr.RespTimeHours > s.Sites[i].DC.RespSLAHours*(1+1e-9) {
+			t.Errorf("site %d response time %v above SLA %v", i, sr.RespTimeHours, s.Sites[i].DC.RespSLAHours)
+		}
+	}
+}
+
+func TestStepAndViewStrings(t *testing.T) {
+	steps := map[Step]string{
+		StepCostMin: "cost-min", StepBudgetCapped: "budget-capped",
+		StepPremiumOnly: "premium-only", StepOverCapacity: "over-capacity",
+		Step(9): "Step(9)",
+	}
+	for st, want := range steps {
+		if st.String() != want {
+			t.Errorf("Step.String() = %q, want %q", st.String(), want)
+		}
+	}
+	views := map[PriceView]string{
+		ViewLMP: "lmp", ViewFlatAvg: "flat-avg", ViewFlatLow: "flat-low",
+		PriceView(9): "PriceView(9)",
+	}
+	for v, want := range views {
+		if v.String() != want {
+			t.Errorf("PriceView.String() = %q, want %q", v.String(), want)
+		}
+	}
+}

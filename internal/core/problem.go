@@ -1,0 +1,291 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"billcap/internal/lp"
+	"billcap/internal/lpparse"
+	"billcap/internal/milp"
+	"billcap/internal/piecewise"
+)
+
+// ErrInfeasible reports that no allocation satisfies the constraints (e.g.
+// the hour's arrivals exceed what the fleet can carry within SLA and power
+// caps).
+var ErrInfeasible = errors.New("core: no feasible allocation")
+
+// SolverStats aggregates branch-and-bound effort across the MILP solves of
+// one decision.
+type SolverStats struct {
+	Solves int
+	Nodes  int
+	Pivots int
+}
+
+func (st *SolverStats) add(sol milp.Solution) {
+	st.Solves++
+	st.Nodes += sol.Nodes
+	st.Pivots += sol.Pivots
+}
+
+// SiteAlloc is the optimizer's plan for one site in one hour.
+type SiteAlloc struct {
+	// Lambda is the workload routed to the site, requests/hour.
+	Lambda float64
+	// PowerMW is the optimizer's predicted draw under its affine model.
+	PowerMW float64
+	// PriceUSDPerMWh is the price level the optimizer expects to pay.
+	PriceUSDPerMWh float64
+	// CostUSD is the predicted hourly cost Pr·p.
+	CostUSD float64
+	// On reports whether the site is powered at all.
+	On bool
+}
+
+// Step identifies which branch of the two-step algorithm produced a decision.
+type Step int
+
+// Decision branches.
+const (
+	// StepCostMin: step 1 alone fit the budget (or capping was disabled).
+	StepCostMin Step = iota
+	// StepBudgetCapped: step 2 admitted all premium and part of the ordinary
+	// traffic within the budget.
+	StepBudgetCapped
+	// StepPremiumOnly: even ordinary-free service exceeded the budget; the
+	// budget is knowingly violated to keep premium QoS (paper §V-B).
+	StepPremiumOnly
+	// StepOverCapacity: arrivals exceeded fleet capacity; the maximum
+	// carryable load is served irrespective of budget.
+	StepOverCapacity
+)
+
+// String names the step.
+func (st Step) String() string {
+	switch st {
+	case StepCostMin:
+		return "cost-min"
+	case StepBudgetCapped:
+		return "budget-capped"
+	case StepPremiumOnly:
+		return "premium-only"
+	case StepOverCapacity:
+		return "over-capacity"
+	}
+	return fmt.Sprintf("Step(%d)", int(st))
+}
+
+// Decision is the capper's output for one hour.
+type Decision struct {
+	Sites []SiteAlloc
+	// PredictedCostUSD is Σ Pr·p under the optimizer's models.
+	PredictedCostUSD float64
+	// Served splits the admitted traffic.
+	Served, ServedPremium, ServedOrdinary float64
+	Step                                  Step
+	Solver                                SolverStats
+}
+
+// siteVars holds the MILP variable handles of one site.
+type siteVars struct {
+	x   int // scaled workload
+	y   int // on/off binary
+	enc piecewise.Encoded
+}
+
+// lambdaScale returns the scaling that keeps workload variables around ≤1e3
+// so the tableau mixes well with MW- and binary-magnitude rows.
+func lambdaScale(totalLambda float64) float64 {
+	return math.Max(1, totalLambda/1e3)
+}
+
+// buildBase assembles the shared MILP skeleton: per-site workload and on/off
+// variables, the affine power link, capacity rows and the price encoding.
+func (s *System) buildBase(in HourInput, scale float64) (*milp.Problem, []siteVars, error) {
+	m := milp.NewProblem()
+	vars := make([]siteVars, len(s.Sites))
+	for i, sm := range s.models {
+		name := sm.site.DC.Name
+		x := m.AddVar(name+".x", 0)
+		y := m.AddBinVar(name+".y", 0)
+		enc, err := piecewise.Encode(m, s.viewFn(i).Fn, in.DemandMW[i],
+			sm.site.DC.PowerCapMW, sm.site.DC.RoundingSlackMW(), name)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: site %s: %w", name, err)
+		}
+		// Exactly one price segment is active iff the site is on.
+		sel := append(enc.SelectorTerms(), lp.Term{Var: y, Coef: -1})
+		m.AddConstraint(sel, lp.EQ, 0)
+		// Affine power link p − a·scale·x − b·y = 0.
+		m.AddConstraint([]lp.Term{
+			{Var: enc.Power, Coef: 1},
+			{Var: x, Coef: -sm.affine.A * scale},
+			{Var: y, Coef: -sm.affine.B},
+		}, lp.EQ, 0)
+		// Capacity: x ≤ xmax·y links load to the on/off state.
+		m.AddConstraint([]lp.Term{
+			{Var: x, Coef: 1},
+			{Var: y, Coef: -sm.maxLambda / scale},
+		}, lp.LE, 0)
+		vars[i] = siteVars{x: x, y: y, enc: enc}
+	}
+	return m, vars, nil
+}
+
+// costTerms collects Σᵢ Σₖ rate·p over all sites.
+func costTerms(vars []siteVars) []lp.Term {
+	var out []lp.Term
+	for _, v := range vars {
+		out = append(out, v.enc.CostTerms()...)
+	}
+	return out
+}
+
+// decisionFrom extracts per-site allocations from a solved MILP.
+func (s *System) decisionFrom(sol milp.Solution, vars []siteVars, scale float64) Decision {
+	d := Decision{Sites: make([]SiteAlloc, len(vars))}
+	for i, v := range vars {
+		lam := sol.X[v.x] * scale
+		if lam < 0 {
+			lam = 0
+		}
+		on := sol.X[v.y] > 0.5
+		if !on {
+			lam = 0
+		}
+		alloc := SiteAlloc{Lambda: lam, On: on}
+		if on {
+			alloc.PowerMW = sol.X[v.enc.Power]
+			for j, pv := range v.enc.SegPower {
+				alloc.CostUSD += v.enc.SegRate[j] * sol.X[pv]
+			}
+			for j, zv := range v.enc.SegBin {
+				if sol.X[zv] > 0.5 {
+					alloc.PriceUSDPerMWh = v.enc.SegRate[j]
+					break
+				}
+			}
+		}
+		d.Sites[i] = alloc
+		d.PredictedCostUSD += alloc.CostUSD
+		d.Served += lam
+	}
+	return d
+}
+
+// MinimizeCost solves step 1 (paper eq. 1–2) for the given workload: route
+// lambda requests/hour at minimum predicted electricity cost subject to the
+// SLA, per-site power caps and the optimizer's price model.
+func (s *System) MinimizeCost(in HourInput, lambda float64, stats *SolverStats) (Decision, error) {
+	if err := s.ValidateInput(in); err != nil {
+		return Decision{}, err
+	}
+	if lambda < 0 {
+		return Decision{}, fmt.Errorf("core: negative workload %v", lambda)
+	}
+	scale := lambdaScale(lambda)
+	m, vars, err := s.buildBase(in, scale)
+	if err != nil {
+		return Decision{}, err
+	}
+	// Σ x = λ: all arrivals must be served in step 1.
+	terms := make([]lp.Term, len(vars))
+	for i, v := range vars {
+		terms[i] = lp.Term{Var: v.x, Coef: 1}
+	}
+	m.AddConstraint(terms, lp.EQ, lambda/scale)
+	for _, t := range costTerms(vars) {
+		m.SetObjectiveCoef(t.Var, m.ObjectiveCoef(t.Var)+t.Coef)
+	}
+	sol := m.Solve()
+	if stats != nil {
+		stats.add(sol)
+	}
+	switch sol.Status {
+	case milp.Optimal:
+	case milp.Infeasible:
+		return Decision{}, fmt.Errorf("%w: %v req/h over %d sites", ErrInfeasible, lambda, len(vars))
+	default:
+		return Decision{}, fmt.Errorf("core: cost minimization ended %v", sol.Status)
+	}
+	d := s.decisionFrom(sol, vars, scale)
+	d.Solver = *stats
+	return d, nil
+}
+
+// WriteHourModel builds the hour's Step-1 cost-minimization MILP and writes
+// it in the lp_solve-style text format, so an operator can inspect or
+// re-solve any decision with cmd/milpsolve:
+//
+//	capperd says hour 412 looks odd → dump it → milpsolve hour412.lp
+func (s *System) WriteHourModel(w io.Writer, in HourInput, lambda float64) error {
+	if err := s.ValidateInput(in); err != nil {
+		return err
+	}
+	if lambda < 0 {
+		return fmt.Errorf("core: negative workload %v", lambda)
+	}
+	scale := lambdaScale(lambda)
+	m, vars, err := s.buildBase(in, scale)
+	if err != nil {
+		return err
+	}
+	terms := make([]lp.Term, len(vars))
+	for i, v := range vars {
+		terms[i] = lp.Term{Var: v.x, Coef: 1}
+	}
+	m.AddConstraint(terms, lp.EQ, lambda/scale)
+	for _, t := range costTerms(vars) {
+		m.SetObjectiveCoef(t.Var, m.ObjectiveCoef(t.Var)+t.Coef)
+	}
+	return lpparse.Write(w, m)
+}
+
+// MaximizeThroughput solves step 2 (paper eq. 8–9): admit as many requests
+// as possible (up to the hour's arrivals) while keeping predicted cost within
+// the budget. Ties in throughput break toward cheaper allocations via a tiny
+// cost penalty.
+func (s *System) MaximizeThroughput(in HourInput, stats *SolverStats) (Decision, error) {
+	if err := s.ValidateInput(in); err != nil {
+		return Decision{}, err
+	}
+	scale := lambdaScale(in.TotalLambda)
+	m, vars, err := s.buildBase(in, scale)
+	if err != nil {
+		return Decision{}, err
+	}
+	// Σ x ≤ λ: cannot serve more than arrives.
+	terms := make([]lp.Term, len(vars))
+	for i, v := range vars {
+		terms[i] = lp.Term{Var: v.x, Coef: 1}
+	}
+	m.AddConstraint(terms, lp.LE, in.TotalLambda/scale)
+	// Budget row (omitted when capping is off).
+	if !math.IsInf(in.BudgetUSD, 1) {
+		m.AddConstraint(costTerms(vars), lp.LE, in.BudgetUSD)
+	}
+	// max Σ x − ε·cost.
+	m.SetMaximize(true)
+	for _, v := range vars {
+		m.SetObjectiveCoef(v.x, 1)
+	}
+	eps := s.opts.epsilon()
+	for _, t := range costTerms(vars) {
+		m.SetObjectiveCoef(t.Var, m.ObjectiveCoef(t.Var)-eps*t.Coef)
+	}
+	sol := m.Solve()
+	if stats != nil {
+		stats.add(sol)
+	}
+	if sol.Status != milp.Optimal {
+		// x = 0 with all sites off is always feasible, so anything but
+		// optimal indicates a solver-level failure worth surfacing.
+		return Decision{}, fmt.Errorf("core: throughput maximization ended %v", sol.Status)
+	}
+	d := s.decisionFrom(sol, vars, scale)
+	d.Solver = *stats
+	return d, nil
+}

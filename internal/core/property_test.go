@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"billcap/internal/dcmodel"
+	"billcap/internal/pricing"
+)
+
+// TestDecideHourInvariantsProperty drives the two-step algorithm with
+// random hours and checks the contracts the rest of the system relies on.
+func TestDecideHourInvariantsProperty(t *testing.T) {
+	s := paperSystem(t, Options{})
+	capacity := s.MaxThroughput()
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		lam := r.Float64() * 1.2 * capacity // sometimes over capacity
+		premFrac := r.Float64()
+		budget := math.Inf(1)
+		switch r.Intn(3) {
+		case 0:
+			budget = r.Float64() * 2000 // possibly binding hourly budget
+		case 1:
+			budget = 0
+		}
+		in := HourInput{
+			TotalLambda:   lam,
+			PremiumLambda: premFrac * lam,
+			DemandMW: []float64{
+				90 + 200*r.Float64(), 95 + 200*r.Float64(), 80 + 200*r.Float64(),
+			},
+			BudgetUSD: budget,
+		}
+		d, err := s.DecideHour(in)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// Never serve more than arrives (within float tolerance).
+		if d.Served > lam*(1+1e-9)+1 {
+			t.Logf("seed %d: served %v > arrivals %v", seed, d.Served, lam)
+			return false
+		}
+		// Premium + ordinary = served.
+		if math.Abs(d.ServedPremium+d.ServedOrdinary-d.Served) > 1e-6*(1+d.Served) {
+			t.Logf("seed %d: split %v+%v != %v", seed, d.ServedPremium, d.ServedOrdinary, d.Served)
+			return false
+		}
+		// Premium is sacrificed only past physical capacity.
+		if d.Step != StepOverCapacity && d.ServedPremium < in.PremiumLambda*(1-1e-9)-1 {
+			t.Logf("seed %d: step %v dropped premium %v of %v", seed, d.Step, d.ServedPremium, in.PremiumLambda)
+			return false
+		}
+		// Budget respected except in the premium-mandatory branches.
+		if d.Step == StepCostMin || d.Step == StepBudgetCapped {
+			if d.PredictedCostUSD > budget*(1+1e-6)+1e-3 {
+				t.Logf("seed %d: step %v cost %v over budget %v", seed, d.Step, d.PredictedCostUSD, budget)
+				return false
+			}
+		}
+		// Per-site allocations are nonnegative and within believed limits.
+		for i, a := range d.Sites {
+			if a.Lambda < 0 {
+				t.Logf("seed %d: site %d negative λ", seed, i)
+				return false
+			}
+			if !a.On && a.Lambda != 0 {
+				t.Logf("seed %d: site %d off but loaded", seed, i)
+				return false
+			}
+		}
+		// The realization never drops meaningful load for in-capacity hours.
+		real, err := s.Realize(d.Lambdas(), in.DemandMW)
+		if err != nil {
+			t.Logf("seed %d: realize: %v", seed, err)
+			return false
+		}
+		if real.DroppedLambda > 1e-6*(1+d.Served) {
+			t.Logf("seed %d: realization dropped %v", seed, real.DroppedLambda)
+			return false
+		}
+		if real.CapViolations != 0 {
+			t.Logf("seed %d: %d cap violations from the cap-aware capper", seed, real.CapViolations)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAblationOrderingProperty: on any in-capacity hour, the fully informed
+// optimizer's realized bill is never worse than the degraded variants'
+// beyond discretization noise.
+func TestAblationOrderingProperty(t *testing.T) {
+	full := paperSystem(t, Options{})
+	a1 := paperSystem(t, Options{Scope: dcmodel.ServerOnly, PriceView: ViewLMP})
+	a2 := paperSystem(t, Options{Scope: dcmodel.FullPower, PriceView: ViewFlatAvg})
+	_ = pricing.Policy1
+	capacity := full.MaxThroughput()
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		lam := (0.1 + 0.8*r.Float64()) * capacity
+		in := HourInput{
+			TotalLambda: lam,
+			DemandMW: []float64{
+				90 + 180*r.Float64(), 95 + 180*r.Float64(), 80 + 180*r.Float64(),
+			},
+			BudgetUSD: math.Inf(1),
+		}
+		df, err := full.MinimizeCost(in, lam, &SolverStats{})
+		if err != nil {
+			return false
+		}
+		rf, err := full.Realize(df.Lambdas(), in.DemandMW)
+		if err != nil {
+			return false
+		}
+		for _, sys := range []*System{a1, a2} {
+			da, err := sys.MinimizeCost(in, lam, &SolverStats{})
+			if err != nil {
+				return false
+			}
+			ra, err := full.Realize(da.Lambdas(), in.DemandMW)
+			if err != nil {
+				return false
+			}
+			// 2% discretization/boundary tolerance.
+			if rf.BillUSD() > ra.BillUSD()*1.02+1 {
+				t.Logf("seed %d: full model %v worse than ablated %v", seed, rf.BillUSD(), ra.BillUSD())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

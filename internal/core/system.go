@@ -1,0 +1,200 @@
+// Package core implements the paper's contribution: the two-step electricity
+// bill capping algorithm for a network of cloud-scale, price-making data
+// centers (paper §IV–§V).
+//
+// Step 1 (cost minimization) routes the hour's arrivals across sites to
+// minimize Σᵢ Prᵢ·pᵢ where the price Prᵢ = Fᵢ(pᵢ + dᵢ) is a step function of
+// the total regional load — a non-convex problem solved exactly as a MILP.
+// Step 2 (throughput maximization within budget) engages when the minimized
+// cost exceeds the hourly budget: it serves all premium traffic, admits as
+// much ordinary traffic as the budget allows, and only violates the budget
+// when premium traffic alone demands it.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"billcap/internal/dcmodel"
+	"billcap/internal/pricing"
+)
+
+// Site pairs one data center with the pricing policy of its power market.
+type Site struct {
+	DC     *dcmodel.Site
+	Policy pricing.Policy
+}
+
+// PriceView selects how an optimizer models prices. The paper's contribution
+// uses the true locational step policies; the Min-Only baselines and the A2
+// ablation flatten them.
+type PriceView int
+
+// Price views.
+const (
+	// ViewLMP models the full locational step policy (price maker).
+	ViewLMP PriceView = iota
+	// ViewFlatAvg models a constant price at the mean of the steps
+	// (Min-Only (Avg), paper §VII-A).
+	ViewFlatAvg
+	// ViewFlatLow models a constant price at the lowest step
+	// (Min-Only (Low)).
+	ViewFlatLow
+)
+
+// String names the view.
+func (v PriceView) String() string {
+	switch v {
+	case ViewLMP:
+		return "lmp"
+	case ViewFlatAvg:
+		return "flat-avg"
+	case ViewFlatLow:
+		return "flat-low"
+	}
+	return fmt.Sprintf("PriceView(%d)", int(v))
+}
+
+// Options configure an optimizer over a System.
+type Options struct {
+	// Scope selects the power components the optimizer models.
+	Scope dcmodel.ModelScope
+	// PriceView selects the optimizer's price model.
+	PriceView PriceView
+	// Epsilon is the cost tie-break weight in the throughput-maximization
+	// objective; 0 → 1e-4 (small enough to never trade throughput for cost).
+	Epsilon float64
+	// CapPenaltyUSDPerMWh is what the supplier charges for every MWh drawn
+	// above the site's power cap Ps (paper §I: suppliers "penalize those
+	// price makers heavily if this cap is exceeded"). 0 → 250 $/MWh, an
+	// order of magnitude above the highest Policy 1 rate.
+	CapPenaltyUSDPerMWh float64
+}
+
+func (o Options) capPenalty() float64 {
+	if o.CapPenaltyUSDPerMWh == 0 {
+		return 250
+	}
+	return o.CapPenaltyUSDPerMWh
+}
+
+func (o Options) epsilon() float64 {
+	if o.Epsilon == 0 {
+		return 1e-4
+	}
+	return o.Epsilon
+}
+
+// siteModel caches the per-site derived quantities the MILP builders need.
+type siteModel struct {
+	site      Site
+	affine    dcmodel.AffineModel // per the optimizer's scope
+	maxLambda float64             // per the optimizer's scope
+}
+
+// System is a network of data centers under one bill-capping controller.
+type System struct {
+	Sites []Site
+
+	opts   Options
+	models []siteModel
+}
+
+// NewSystem validates and assembles a system with the given optimizer
+// options.
+func NewSystem(dcs []*dcmodel.Site, policies []pricing.Policy, opts Options) (*System, error) {
+	if len(dcs) == 0 {
+		return nil, fmt.Errorf("core: no data centers")
+	}
+	if len(dcs) != len(policies) {
+		return nil, fmt.Errorf("core: %d data centers but %d policies", len(dcs), len(policies))
+	}
+	s := &System{opts: opts}
+	for i, dc := range dcs {
+		if err := dc.Validate(); err != nil {
+			return nil, fmt.Errorf("core: site %d: %w", i, err)
+		}
+		site := Site{DC: dc, Policy: policies[i]}
+		aff, err := dc.Affine(opts.Scope)
+		if err != nil {
+			return nil, fmt.Errorf("core: site %s: %w", dc.Name, err)
+		}
+		// Capacity limits always come from the full power model: every
+		// operator enforces its supplier cap (the paper's §I — caps "must
+		// first be enforced to avoid financial penalty"), even an optimizer
+		// that prices only server power. The scope blinds the cost model,
+		// not cap compliance.
+		maxLam, err := dc.MaxLambda()
+		if err != nil {
+			return nil, fmt.Errorf("core: site %s: %w", dc.Name, err)
+		}
+		s.Sites = append(s.Sites, site)
+		s.models = append(s.models, siteModel{site: site, affine: aff, maxLambda: maxLam})
+	}
+	return s, nil
+}
+
+// Options returns the optimizer options the system was built with.
+func (s *System) Options() Options { return s.opts }
+
+// NumSites returns the number of data centers.
+func (s *System) NumSites() int { return len(s.Sites) }
+
+// MaxThroughput returns the total arrival rate the system can accept under
+// the optimizer's site models.
+func (s *System) MaxThroughput() float64 {
+	t := 0.0
+	for _, m := range s.models {
+		t += m.maxLambda
+	}
+	return t
+}
+
+// viewFn returns the price function of site i as the optimizer sees it.
+func (s *System) viewFn(i int) pricing.Policy {
+	p := s.Sites[i].Policy
+	switch s.opts.PriceView {
+	case ViewFlatAvg:
+		return pricing.FlattenAvg(p)
+	case ViewFlatLow:
+		return pricing.FlattenLow(p)
+	default:
+		return p
+	}
+}
+
+// HourInput is everything the capper needs for one invocation period.
+type HourInput struct {
+	// Hour is the absolute hour index since the scenario epoch (Monday
+	// 00:00). The two-step capper itself is time-blind; time-of-use
+	// baselines use Hour%24 to pick their tariff window.
+	Hour int
+	// TotalLambda is the hour's total arrivals in requests/hour.
+	TotalLambda float64
+	// PremiumLambda is the portion from paying customers, ≤ TotalLambda.
+	PremiumLambda float64
+	// DemandMW is the background regional demand d_i per site.
+	DemandMW []float64
+	// BudgetUSD is the hour's cost budget; +Inf disables capping.
+	BudgetUSD float64
+}
+
+// Validate reports the first problem with the input against the system.
+func (s *System) ValidateInput(in HourInput) error {
+	switch {
+	case in.TotalLambda < 0:
+		return fmt.Errorf("core: negative total load %v", in.TotalLambda)
+	case in.PremiumLambda < 0 || in.PremiumLambda > in.TotalLambda+1e-9:
+		return fmt.Errorf("core: premium load %v outside [0, %v]", in.PremiumLambda, in.TotalLambda)
+	case len(in.DemandMW) != len(s.Sites):
+		return fmt.Errorf("core: %d demand entries for %d sites", len(in.DemandMW), len(s.Sites))
+	case math.IsNaN(in.BudgetUSD) || in.BudgetUSD < 0:
+		return fmt.Errorf("core: bad budget %v", in.BudgetUSD)
+	}
+	for i, d := range in.DemandMW {
+		if d < 0 || math.IsNaN(d) {
+			return fmt.Errorf("core: bad demand %v at site %d", d, i)
+		}
+	}
+	return nil
+}

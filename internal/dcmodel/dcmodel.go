@@ -1,0 +1,220 @@
+// Package dcmodel models a single data center site: its server fleet,
+// network fabric and cooling plant, and the local optimizer that keeps the
+// minimum number of servers active for the response-time set point
+// (paper §IV-B).
+//
+// Two views of the same physics are provided:
+//
+//   - the discrete view (Evaluate) with integer server and switch counts —
+//     what the simulator bills against the real price policy, and
+//   - the affine view (Affine) p(λ) = A·λ + B in MW — what enters the MILP,
+//     exact up to the integrality of servers and switches.
+//
+// The affine server term is exact in expectation: total server power is
+// n·Idle + (Peak−Idle)·λ/µ because the busy fractions of all active servers
+// sum to λ/µ regardless of how load is spread.
+package dcmodel
+
+import (
+	"fmt"
+	"math"
+
+	"billcap/internal/fattree"
+	"billcap/internal/queueing"
+)
+
+// Site describes one data center and its regional power-market parameters.
+type Site struct {
+	// Name identifies the site in reports, e.g. "DC1-B".
+	Name string
+	// MaxServers is the installed (homogeneous) server count.
+	MaxServers int
+	// IdleW and PeakW are per-server power at 0% and 100% utilization:
+	// sp(u) = IdleW + (PeakW−IdleW)·u (paper §IV-B: sp = I + D·u).
+	IdleW, PeakW float64
+	// Queue carries the per-server service rate (req/h) and workload
+	// variability of the G/G/m model.
+	Queue queueing.Model
+	// RespSLAHours is the response-time set point Rs in hours.
+	RespSLAHours float64
+	// Net is the k-ary fat-tree fabric; EdgeW/AggW/CoreW are per-switch
+	// powers in watts (switches are not energy proportional).
+	Net                fattree.Topology
+	EdgeW, AggW, CoreW float64
+	// CoolingEff is the cooling efficiency coe: heat removed per watt spent
+	// on cooling, so cooling power = IT power / coe.
+	CoolingEff float64
+	// PowerCapMW is the supplier-imposed cap Ps on the site's draw.
+	PowerCapMW float64
+}
+
+// Validate reports the first configuration error, if any.
+func (s *Site) Validate() error {
+	switch {
+	case s.MaxServers <= 0:
+		return fmt.Errorf("dcmodel %s: MaxServers %d", s.Name, s.MaxServers)
+	case s.IdleW < 0 || s.PeakW < s.IdleW:
+		return fmt.Errorf("dcmodel %s: server power law idle=%v peak=%v", s.Name, s.IdleW, s.PeakW)
+	case s.CoolingEff <= 0:
+		return fmt.Errorf("dcmodel %s: cooling efficiency %v", s.Name, s.CoolingEff)
+	case s.PowerCapMW <= 0:
+		return fmt.Errorf("dcmodel %s: power cap %v MW", s.Name, s.PowerCapMW)
+	case s.EdgeW < 0 || s.AggW < 0 || s.CoreW < 0:
+		return fmt.Errorf("dcmodel %s: negative switch power", s.Name)
+	case s.Net.Capacity() < s.MaxServers:
+		return fmt.Errorf("dcmodel %s: fat tree k=%d holds %d hosts < %d servers",
+			s.Name, s.Net.K, s.Net.Capacity(), s.MaxServers)
+	}
+	if err := s.Queue.Validate(); err != nil {
+		return fmt.Errorf("dcmodel %s: %w", s.Name, err)
+	}
+	if s.RespSLAHours <= 1/s.Queue.Mu {
+		return fmt.Errorf("dcmodel %s: SLA %v h not above service time %v h",
+			s.Name, s.RespSLAHours, 1/s.Queue.Mu)
+	}
+	return nil
+}
+
+// PowerBreakdown is the discrete evaluation of a site at one arrival rate.
+type PowerBreakdown struct {
+	Servers     int
+	Switches    fattree.ActiveSwitches
+	Utilization float64
+	ServerW     float64
+	NetworkW    float64
+	CoolingW    float64
+}
+
+// TotalW returns server + network + cooling power in watts.
+func (b PowerBreakdown) TotalW() float64 { return b.ServerW + b.NetworkW + b.CoolingW }
+
+// TotalMW returns the total in megawatts.
+func (b PowerBreakdown) TotalMW() float64 { return b.TotalW() / 1e6 }
+
+// Evaluate runs the local optimizer for arrival rate lambda (req/h) and
+// returns the realized discrete power breakdown. lambda == 0 powers the site
+// off entirely. An error is returned when the load exceeds what MaxServers
+// can carry within the SLA.
+func (s *Site) Evaluate(lambda float64) (PowerBreakdown, error) {
+	if lambda < 0 {
+		return PowerBreakdown{}, fmt.Errorf("dcmodel %s: negative load %v", s.Name, lambda)
+	}
+	if lambda == 0 {
+		return PowerBreakdown{}, nil
+	}
+	n, err := s.Queue.MinServers(lambda, s.RespSLAHours)
+	if err != nil {
+		return PowerBreakdown{}, fmt.Errorf("dcmodel %s: %w", s.Name, err)
+	}
+	if n > s.MaxServers {
+		return PowerBreakdown{}, fmt.Errorf("dcmodel %s: load %v needs %d servers > %d installed",
+			s.Name, lambda, n, s.MaxServers)
+	}
+	u := s.Queue.Utilization(lambda, n)
+	// Busy fractions across the fleet sum to λ/µ exactly.
+	serverW := float64(n)*s.IdleW + (s.PeakW-s.IdleW)*lambda/s.Queue.Mu
+	sw := s.Net.Active(n)
+	netW := float64(sw.Edge)*s.EdgeW + float64(sw.Agg)*s.AggW + float64(sw.Core)*s.CoreW
+	coolW := (serverW + netW) / s.CoolingEff
+	return PowerBreakdown{
+		Servers:     n,
+		Switches:    sw,
+		Utilization: u,
+		ServerW:     serverW,
+		NetworkW:    netW,
+		CoolingW:    coolW,
+	}, nil
+}
+
+// TotalPowerMW is Evaluate reduced to the total draw in MW.
+func (s *Site) TotalPowerMW(lambda float64) (float64, error) {
+	b, err := s.Evaluate(lambda)
+	if err != nil {
+		return 0, err
+	}
+	return b.TotalMW(), nil
+}
+
+// ModelScope selects which power components an optimizer's site model
+// includes. The paper's contribution models everything; the Min-Only
+// baseline and the A1 ablation model servers only.
+type ModelScope int
+
+// Model scopes.
+const (
+	// FullPower includes servers, network and cooling.
+	FullPower ModelScope = iota
+	// ServerOnly ignores network and cooling (Min-Only baseline view).
+	ServerOnly
+)
+
+// AffineModel is the optimizer's linear view of site power:
+// p(λ) = A·λ + B megawatts for λ > 0 (and exactly 0 at λ = 0 when off).
+type AffineModel struct {
+	A float64 // MW per (req/h)
+	B float64 // MW fixed cost while the site is on
+}
+
+// PowerMW evaluates the affine model.
+func (m AffineModel) PowerMW(lambda float64) float64 { return m.A*lambda + m.B }
+
+// Affine derives the optimizer's affine power model from the site physics.
+func (s *Site) Affine(scope ModelScope) (AffineModel, error) {
+	if err := s.Validate(); err != nil {
+		return AffineModel{}, err
+	}
+	alpha, beta, err := s.Queue.ServerCoefficients(s.RespSLAHours)
+	if err != nil {
+		return AffineModel{}, err
+	}
+	// Server fleet: n(λ) = αλ + β active servers, busy work λ/µ.
+	aW := s.PeakW * alpha // = Idle·α + (Peak−Idle)/µ since α = 1/µ
+	bW := s.IdleW * beta
+	if scope == FullPower {
+		eRate, aRate, cRate := s.Net.Rates()
+		unitNet := eRate*s.EdgeW + aRate*s.AggW + cRate*s.CoreW // W per server
+		aW += unitNet * alpha
+		bW += unitNet * beta
+		overhead := 1 + 1/s.CoolingEff
+		aW *= overhead
+		bW *= overhead
+	}
+	return AffineModel{A: aW / 1e6, B: bW / 1e6}, nil
+}
+
+// RoundingSlackMW bounds how far the discrete realization can sit above the
+// affine model: one extra server, one pod of aggregation switches, one core
+// and one edge switch — all cooled. Optimizers must leave this headroom
+// below power caps and price-step boundaries.
+func (s *Site) RoundingSlackMW() float64 {
+	return (s.PeakW + float64(s.Net.K/2)*s.AggW + s.CoreW + s.EdgeW) *
+		(1 + 1/s.CoolingEff) / 1e6
+}
+
+// MaxLambda returns the largest arrival rate the site can accept, limited by
+// both the installed servers (SLA feasibility) and the power cap under the
+// full affine model, with a small safety margin to absorb the integer
+// rounding the simulator applies.
+func (s *Site) MaxLambda() (float64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	byServers, err := s.Queue.MaxThroughput(s.MaxServers, s.RespSLAHours)
+	if err != nil {
+		return 0, err
+	}
+	m, err := s.Affine(FullPower)
+	if err != nil {
+		return 0, err
+	}
+	slackMW := s.RoundingSlackMW()
+	byPower := math.Inf(1)
+	if m.A > 0 {
+		byPower = (s.PowerCapMW - slackMW - m.B) / m.A
+	}
+	lam := math.Min(byServers, byPower)
+	if lam < 0 {
+		lam = 0
+	}
+	return lam, nil
+}

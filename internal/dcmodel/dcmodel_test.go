@@ -1,0 +1,252 @@
+package dcmodel
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"billcap/internal/fattree"
+	"billcap/internal/queueing"
+)
+
+func near(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func testSite() *Site {
+	net, _ := fattree.New(16) // 1024 hosts
+	return &Site{
+		Name:         "test",
+		MaxServers:   1000,
+		IdleW:        50,
+		PeakW:        100,
+		Queue:        queueing.Model{Mu: 3600 * 100, K: 1}, // 100 req/s
+		RespSLAHours: 0.02 / 3600,                          // 20 ms vs 10 ms service time
+		Net:          net,
+		EdgeW:        84, AggW: 84, CoreW: 240,
+		CoolingEff: 2.0,
+		PowerCapMW: 1.0,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := testSite().Validate(); err != nil {
+		t.Fatalf("valid site rejected: %v", err)
+	}
+	cases := []struct {
+		mutate func(*Site)
+		want   string
+	}{
+		{func(s *Site) { s.MaxServers = 0 }, "MaxServers"},
+		{func(s *Site) { s.PeakW = s.IdleW - 1 }, "power law"},
+		{func(s *Site) { s.CoolingEff = 0 }, "cooling"},
+		{func(s *Site) { s.PowerCapMW = 0 }, "power cap"},
+		{func(s *Site) { s.EdgeW = -1 }, "switch power"},
+		{func(s *Site) { s.MaxServers = 5000 }, "fat tree"},
+		{func(s *Site) { s.Queue.Mu = 0 }, "service rate"},
+		{func(s *Site) { s.RespSLAHours = 1e-9 }, "SLA"},
+	}
+	for _, c := range cases {
+		s := testSite()
+		c.mutate(s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("mutation %q: err = %v", c.want, err)
+		}
+	}
+}
+
+func TestEvaluateZeroLoadPowersOff(t *testing.T) {
+	b, err := testSite().Evaluate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TotalW() != 0 || b.Servers != 0 {
+		t.Errorf("zero load: %+v, want all zero", b)
+	}
+}
+
+func TestEvaluateBreakdown(t *testing.T) {
+	s := testSite()
+	lambda := 100 * s.Queue.Mu // needs ≥ 100 servers
+	b, err := s.Evaluate(lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Servers < 100 || b.Servers > 110 {
+		t.Errorf("servers = %d, want just over 100", b.Servers)
+	}
+	// Server power: n·50 + 50·(λ/µ) = n·50 + 5000.
+	wantServer := float64(b.Servers)*50 + 50*100
+	if !near(b.ServerW, wantServer, 1e-6) {
+		t.Errorf("server W = %v, want %v", b.ServerW, wantServer)
+	}
+	// Cooling is exactly half of IT power at coe=2.
+	if !near(b.CoolingW, (b.ServerW+b.NetworkW)/2, 1e-9) {
+		t.Errorf("cooling W = %v, want half of IT %v", b.CoolingW, b.ServerW+b.NetworkW)
+	}
+	if b.NetworkW <= 0 {
+		t.Errorf("network W = %v, want positive", b.NetworkW)
+	}
+	if b.Utilization <= 0.9 || b.Utilization > 1 {
+		t.Errorf("utilization = %v, want near 1 under minimal provisioning", b.Utilization)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	s := testSite()
+	if _, err := s.Evaluate(-1); err == nil {
+		t.Error("negative load accepted")
+	}
+	// More than MaxServers can carry.
+	if _, err := s.Evaluate(2000 * s.Queue.Mu); err == nil {
+		t.Error("overload accepted")
+	}
+}
+
+func TestAffineTracksDiscrete(t *testing.T) {
+	s := testSite()
+	m, err := s.Affine(FullPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLam, err := s.MaxLambda()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		lambda := 1 + r.Float64()*(maxLam-1)
+		d, err := s.TotalPowerMW(lambda)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		a := m.PowerMW(lambda)
+		// The discrete model rounds servers and switches up, so it sits at or
+		// above the affine model, within one server + one pod + one core
+		// switch (cooled).
+		slackMW := (s.PeakW + float64(s.Net.K/2)*s.AggW + s.CoreW + s.EdgeW) *
+			(1 + 1/s.CoolingEff) / 1e6
+		if d < a-1e-9 {
+			t.Logf("seed %d: discrete %v below affine %v at λ=%v", seed, d, a, lambda)
+			return false
+		}
+		if d > a+slackMW {
+			t.Logf("seed %d: discrete %v exceeds affine %v + slack %v at λ=%v", seed, d, a, slackMW, lambda)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerOnlyScopeIsSmaller(t *testing.T) {
+	s := testSite()
+	full, err := s.Affine(FullPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := s.Affine(ServerOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.A >= full.A || srv.B >= full.B {
+		t.Errorf("server-only model (%+v) not smaller than full (%+v)", srv, full)
+	}
+	// With coe=2 and the switch contribution, full is at least 1.5× server-only.
+	if full.A < 1.5*srv.A {
+		t.Errorf("full A = %v, want ≥ 1.5× server-only %v", full.A, srv.A)
+	}
+}
+
+func TestMaxLambdaRespectsCapAndServers(t *testing.T) {
+	s := testSite()
+	lam, err := s.MaxLambda()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lam <= 0 {
+		t.Fatalf("MaxLambda = %v", lam)
+	}
+	p, err := s.TotalPowerMW(lam)
+	if err != nil {
+		t.Fatalf("MaxLambda %v not servable: %v", lam, err)
+	}
+	if p > s.PowerCapMW+1e-9 {
+		t.Errorf("power at MaxLambda = %v MW exceeds cap %v", p, s.PowerCapMW)
+	}
+	// A tiny power cap must bind before the server count does.
+	s2 := testSite()
+	s2.PowerCapMW = 0.01
+	lam2, err := s2.MaxLambda()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lam2 >= lam {
+		t.Errorf("tight cap did not reduce MaxLambda: %v >= %v", lam2, lam)
+	}
+}
+
+func TestPaperSites(t *testing.T) {
+	sites := PaperSites()
+	if len(sites) != 3 {
+		t.Fatalf("len = %d, want 3", len(sites))
+	}
+	wantNames := []string{"DC1-B", "DC2-C", "DC3-D"}
+	for i, s := range sites {
+		if s.Name != wantNames[i] {
+			t.Errorf("site %d name = %q, want %q", i, s.Name, wantNames[i])
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("site %s invalid: %v", s.Name, err)
+		}
+		// The per-server law reproduces the paper's wattage at 80% util.
+		want := []float64{88.88, 34.10, 49.90}[i]
+		got := s.IdleW + (s.PeakW-s.IdleW)*0.8
+		if !near(got, want, 1e-9) {
+			t.Errorf("site %s sp(0.8) = %v, want %v", s.Name, got, want)
+		}
+		lam, err := s.MaxLambda()
+		if err != nil || lam <= 0 {
+			t.Errorf("site %s MaxLambda = %v, %v", s.Name, lam, err)
+		}
+	}
+	// Fleet power at maximum load must land in the 100–300 MW band that the
+	// paper's dollar figures imply (price-maker scale).
+	total := 0.0
+	for _, s := range sites {
+		lam, _ := s.MaxLambda()
+		p, err := s.TotalPowerMW(lam)
+		if err != nil {
+			t.Fatalf("site %s: %v", s.Name, err)
+		}
+		total += p
+	}
+	if total < 100 || total > 300 {
+		t.Errorf("fleet max power = %v MW, want within [100, 300]", total)
+	}
+}
+
+func TestSyntheticSites(t *testing.T) {
+	sites := SyntheticSites(13)
+	if len(sites) != 13 {
+		t.Fatalf("len = %d, want 13", len(sites))
+	}
+	names := map[string]bool{}
+	for _, s := range sites {
+		if err := s.Validate(); err != nil {
+			t.Errorf("site %s invalid: %v", s.Name, err)
+		}
+		if names[s.Name] {
+			t.Errorf("duplicate site name %s", s.Name)
+		}
+		names[s.Name] = true
+	}
+	// Perturbation must make cycle-1 sites differ from cycle-0.
+	if sites[0].PeakW == sites[3].PeakW {
+		t.Errorf("sites 0 and 3 identical peak power")
+	}
+}

@@ -1,0 +1,116 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VII) on the reproduction's scenario, as plain-text tables and
+// named hourly series. The cmd/capsim tool renders them; the repository's
+// benchmarks time them; EXPERIMENTS.md records them against the paper.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strings"
+
+	"billcap/internal/timeseries"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render formats the table with aligned columns.
+func (t Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// RenderMarkdown formats the table as GitHub-flavored markdown (the format
+// EXPERIMENTS.md uses).
+func (t Table) RenderMarkdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s\n\n", t.Title)
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for _, c := range cells {
+			b.WriteString(" ")
+			b.WriteString(strings.ReplaceAll(c, "|", "\\|"))
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	b.WriteString("|")
+	for range t.Header {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	return b.String()
+}
+
+// RenderCSV formats the table as CSV (header row first; notes omitted).
+func (t Table) RenderCSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write(t.Header)
+	for _, row := range t.Rows {
+		_ = w.Write(row)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Result bundles a table with the hourly series behind the paper's plots.
+type Result struct {
+	Table  Table
+	Series map[string]timeseries.Series
+}
+
+// Render formats the table part.
+func (r Result) Render() string { return r.Table.Render() }
+
+func usd(v float64) string  { return fmt.Sprintf("$%.0f", v) }
+func pct(v float64) string  { return fmt.Sprintf("%.1f%%", 100*v) }
+func rate(v float64) string { return fmt.Sprintf("%.4f", v) }

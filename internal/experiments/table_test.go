@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleTable() Table {
+	return Table{
+		Title:  "Sample",
+		Header: []string{"name", "value"},
+		Rows: [][]string{
+			{"alpha", "1"},
+			{"beta|gamma", "2"},
+		},
+		Notes: []string{"a note"},
+	}
+}
+
+func TestRenderText(t *testing.T) {
+	out := sampleTable().Render()
+	for _, want := range []string{"== Sample ==", "name", "alpha", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns aligned: the separator line matches the widest cell.
+	if !strings.Contains(out, "----------") {
+		t.Errorf("missing separator:\n%s", out)
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	out := sampleTable().RenderMarkdown()
+	for _, want := range []string{"## Sample", "| name | value |", "|---|---|", "*a note*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	// Pipes inside cells must be escaped.
+	if !strings.Contains(out, `beta\|gamma`) {
+		t.Errorf("unescaped pipe:\n%s", out)
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	out := sampleTable().RenderCSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "name,value" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "beta|gamma") {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+}
+
+func TestFig1Shapes(t *testing.T) {
+	r := Fig1()
+	if len(r.Table.Rows) != 15 {
+		t.Errorf("Fig1 rows = %d, want 15 (3 regions × 5 segments)", len(r.Table.Rows))
+	}
+	if len(r.Table.Header) != 4 {
+		t.Errorf("Fig1 header = %v", r.Table.Header)
+	}
+}
+
+func TestFig1DerivedLandmarks(t *testing.T) {
+	r, err := Fig1Derived()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's two landmark steps must appear in the derived table.
+	joined := r.Render()
+	for _, want := range []string{"605", "715", "10.00"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("derived Fig. 1 missing landmark %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestSolverExperimentShape(t *testing.T) {
+	r, err := Solver([]int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Table.Rows) != 1 {
+		t.Fatalf("rows = %d", len(r.Table.Rows))
+	}
+	if r.Table.Rows[0][0] != "3" || r.Table.Rows[0][1] != "5" {
+		t.Errorf("row = %v", r.Table.Rows[0])
+	}
+}
+
+func TestWeeklyExperimentsQuick(t *testing.T) {
+	// One-week smoke run of every weekly experiment; detailed assertions
+	// live in the sim integration tests.
+	for name, f := range map[string]func(int) (Result, error){
+		"fig3": Fig3, "fig56": Fig56, "fig78": Fig78, "fig9": Fig9,
+		"robustness": Robustness, "ablation": Ablation, "baselines": Baselines,
+		"battery": Battery,
+	} {
+		r, err := f(1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(r.Table.Rows) == 0 {
+			t.Errorf("%s: empty table", name)
+		}
+	}
+}
+
+func TestHeavierExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiments")
+	}
+	for name, f := range map[string]func(int) (Result, error){
+		"fig4": Fig4, "fig10": Fig10, "flashcrowd": FlashCrowd,
+	} {
+		r, err := f(1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(r.Table.Rows) == 0 {
+			t.Errorf("%s: empty", name)
+		}
+	}
+	for name, f := range map[string]func() (Result, error){
+		"hetero": Hetero, "hierarchy": Hierarchy,
+	} {
+		r, err := f()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(r.Table.Rows) == 0 {
+			t.Errorf("%s: empty", name)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Package fattree models the k-ary fat-tree data center network topology
+// (Al-Fares et al., SIGCOMM 2008; paper §IV-B) and the number of switches
+// that must stay powered for a given count of active, consolidated servers
+// (ElasticTree-style right-sizing, paper ref. [4]).
+//
+// A k-ary fat-tree has k pods; each pod holds k/2 edge switches and k/2
+// aggregation switches; (k/2)² core switches join the pods; each edge switch
+// serves k/2 hosts, for a total capacity of k³/4 hosts.
+package fattree
+
+import (
+	"fmt"
+	"math"
+)
+
+// Topology is a k-ary fat tree.
+type Topology struct {
+	K int // pod parameter; must be even and ≥ 2
+}
+
+// New validates and returns a k-ary fat tree.
+func New(k int) (Topology, error) {
+	if k < 2 || k%2 != 0 {
+		return Topology{}, fmt.Errorf("fattree: k must be even and >= 2, got %d", k)
+	}
+	return Topology{K: k}, nil
+}
+
+// ForHosts returns the smallest valid fat tree able to attach at least the
+// given number of hosts.
+func ForHosts(hosts int) (Topology, error) {
+	if hosts < 1 {
+		return Topology{}, fmt.Errorf("fattree: need at least 1 host, got %d", hosts)
+	}
+	k := 2
+	for k*k*k/4 < hosts {
+		k += 2
+	}
+	return Topology{K: k}, nil
+}
+
+// Capacity returns the maximum number of hosts, k³/4.
+func (t Topology) Capacity() int { return t.K * t.K * t.K / 4 }
+
+// TotalEdge returns the total number of edge switches, k²/2.
+func (t Topology) TotalEdge() int { return t.K * t.K / 2 }
+
+// TotalAgg returns the total number of aggregation switches, k²/2.
+func (t Topology) TotalAgg() int { return t.K * t.K / 2 }
+
+// TotalCore returns the total number of core switches, (k/2)².
+func (t Topology) TotalCore() int { return (t.K / 2) * (t.K / 2) }
+
+// HostsPerEdge returns the number of hosts attached to one edge switch, k/2.
+func (t Topology) HostsPerEdge() int { return t.K / 2 }
+
+// HostsPerPod returns the number of hosts in one pod, k²/4.
+func (t Topology) HostsPerPod() int { return t.K * t.K / 4 }
+
+// ActiveSwitches holds the switch counts that must be powered.
+type ActiveSwitches struct {
+	Edge, Agg, Core int
+}
+
+// Active returns the switch counts required when n servers are active and
+// consolidated onto the fewest pods/racks (the paper's assumption that a
+// local optimizer packs load):
+//
+//   - edge: ceil(n / (k/2)) — one per filled rack,
+//   - agg:  (k/2) per active pod — intra-pod fabric stays up,
+//   - core: a proportional share of the core layer, at least one switch
+//     whenever any server is active.
+//
+// n is clamped to [0, Capacity].
+func (t Topology) Active(n int) ActiveSwitches {
+	if n <= 0 {
+		return ActiveSwitches{}
+	}
+	if c := t.Capacity(); n > c {
+		n = c
+	}
+	half := t.K / 2
+	edge := ceilDiv(n, half)
+	pods := ceilDiv(n, t.HostsPerPod())
+	agg := pods * half
+	core := int(math.Ceil(float64(t.TotalCore()) * float64(n) / float64(t.Capacity())))
+	if core < 1 {
+		core = 1
+	}
+	return ActiveSwitches{Edge: edge, Agg: agg, Core: core}
+}
+
+// Rates returns the continuous per-server switch rates (edge, agg, core)
+// used by the affine optimizer model: 2/k, 2/k and 1/k switches per active
+// server respectively. Integrality and the per-pod step of the discrete
+// Active model are absorbed by the simulator's re-evaluation.
+func (t Topology) Rates() (edge, agg, core float64) {
+	k := float64(t.K)
+	return 2 / k, 2 / k, 1 / k
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,121 @@
+package fattree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(3); err == nil {
+		t.Error("odd k accepted")
+	}
+	if _, err := New(0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	tp, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Capacity() != 16 {
+		t.Errorf("k=4 capacity = %d, want 16", tp.Capacity())
+	}
+}
+
+func TestCanonicalK4Counts(t *testing.T) {
+	// The textbook k=4 fat tree: 16 hosts, 8 edge, 8 agg, 4 core.
+	tp, _ := New(4)
+	if tp.TotalEdge() != 8 || tp.TotalAgg() != 8 || tp.TotalCore() != 4 {
+		t.Errorf("k=4 totals = %d/%d/%d, want 8/8/4",
+			tp.TotalEdge(), tp.TotalAgg(), tp.TotalCore())
+	}
+	if tp.HostsPerEdge() != 2 || tp.HostsPerPod() != 4 {
+		t.Errorf("k=4 hosts per edge/pod = %d/%d, want 2/4", tp.HostsPerEdge(), tp.HostsPerPod())
+	}
+}
+
+func TestForHosts(t *testing.T) {
+	cases := []struct{ hosts, wantK int }{
+		{1, 2}, {2, 2}, {3, 4}, {16, 4}, {17, 6}, {54, 6}, {55, 8},
+		{300000, 108}, {700000, 142},
+	}
+	for _, c := range cases {
+		tp, err := ForHosts(c.hosts)
+		if err != nil {
+			t.Fatalf("ForHosts(%d): %v", c.hosts, err)
+		}
+		if tp.K != c.wantK {
+			t.Errorf("ForHosts(%d).K = %d, want %d", c.hosts, tp.K, c.wantK)
+		}
+		if tp.Capacity() < c.hosts {
+			t.Errorf("ForHosts(%d) capacity %d too small", c.hosts, tp.Capacity())
+		}
+	}
+	if _, err := ForHosts(0); err == nil {
+		t.Error("ForHosts(0) accepted")
+	}
+}
+
+func TestActiveEdgeCases(t *testing.T) {
+	tp, _ := New(4)
+	if a := tp.Active(0); a != (ActiveSwitches{}) {
+		t.Errorf("Active(0) = %+v, want zero", a)
+	}
+	full := tp.Active(tp.Capacity())
+	if full.Edge != tp.TotalEdge() || full.Agg != tp.TotalAgg() || full.Core != tp.TotalCore() {
+		t.Errorf("Active(capacity) = %+v, want all switches %d/%d/%d",
+			full, tp.TotalEdge(), tp.TotalAgg(), tp.TotalCore())
+	}
+	// Overload clamps.
+	if over := tp.Active(10 * tp.Capacity()); over != full {
+		t.Errorf("Active(overload) = %+v, want %+v", over, full)
+	}
+	// One active server still needs one edge, the pod's agg layer, one core.
+	one := tp.Active(1)
+	if one.Edge != 1 || one.Agg != 2 || one.Core != 1 {
+		t.Errorf("Active(1) = %+v, want {1 2 1}", one)
+	}
+}
+
+func TestActiveMonotoneAndBounded(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 2 * (1 + r.Intn(20)) // even 2..40
+		tp, err := New(k)
+		if err != nil {
+			return false
+		}
+		n1 := r.Intn(tp.Capacity() + 1)
+		n2 := r.Intn(tp.Capacity() + 1)
+		if n1 > n2 {
+			n1, n2 = n2, n1
+		}
+		a1, a2 := tp.Active(n1), tp.Active(n2)
+		if a1.Edge > a2.Edge || a1.Agg > a2.Agg || a1.Core > a2.Core {
+			return false
+		}
+		return a2.Edge <= tp.TotalEdge() && a2.Agg <= tp.TotalAgg() && a2.Core <= tp.TotalCore()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatesApproximateDiscreteCounts(t *testing.T) {
+	// For large n the affine rates must track the discrete counts closely.
+	tp, _ := New(48)
+	e, a, c := tp.Rates()
+	n := tp.Capacity() * 3 / 4
+	act := tp.Active(n)
+	fe, fa, fc := e*float64(n), a*float64(n), c*float64(n)
+	// Edge and core are tight; agg steps per-pod so allow one pod of slack.
+	if diff := float64(act.Edge) - fe; diff < 0 || diff > 1 {
+		t.Errorf("edge: discrete %d vs affine %v", act.Edge, fe)
+	}
+	if diff := float64(act.Agg) - fa; diff < 0 || diff > float64(tp.K/2) {
+		t.Errorf("agg: discrete %d vs affine %v", act.Agg, fa)
+	}
+	if diff := float64(act.Core) - fc; diff < 0 || diff > 1 {
+		t.Errorf("core: discrete %d vs affine %v", act.Core, fc)
+	}
+}

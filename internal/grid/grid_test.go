@@ -1,0 +1,90 @@
+package grid
+
+import "testing"
+
+func TestValidate(t *testing.T) {
+	good := GenConfig{Hours: 24, BaseMW: 200, DailyAmp: 50, NoiseMW: 5, FloorMW: 80}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := []GenConfig{
+		{Hours: 0, BaseMW: 200},
+		{Hours: 24, BaseMW: 0},
+		{Hours: 24, BaseMW: 200, DailyAmp: -1},
+		{Hours: 24, BaseMW: 200, FloorMW: 300},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSyntheticDeterministicAndFloored(t *testing.T) {
+	c := GenConfig{Seed: 42, Hours: 400, BaseMW: 200, DailyAmp: 120, PeakHour: 17, NoiseMW: 30, FloorMW: 90}
+	a, err := Synthetic("B", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Synthetic("B", c)
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i) != b.At(i) {
+			t.Fatalf("hour %d differs for identical seeds", i)
+		}
+		if a.At(i) < c.FloorMW {
+			t.Fatalf("hour %d = %v below floor %v", i, a.At(i), c.FloorMW)
+		}
+	}
+	if a.Region != "B" {
+		t.Errorf("region = %q", a.Region)
+	}
+}
+
+func TestPaperRegions(t *testing.T) {
+	ds, err := PaperRegions(720, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 3 {
+		t.Fatalf("len = %d, want 3", len(ds))
+	}
+	for _, d := range ds {
+		if d.Len() != 720 {
+			t.Errorf("region %s has %d hours", d.Region, d.Len())
+		}
+		// The PJM five-bus policies have first steps at 180–220 MW; the
+		// background demand must roam below and up to that band so the data
+		// center's own draw decides the price level.
+		if d.MW.Min() > 180 {
+			t.Errorf("region %s min %v never below the first step", d.Region, d.MW.Min())
+		}
+		if d.MW.Max() < 180 || d.MW.Max() > 350 {
+			t.Errorf("region %s max %v outside (180, 350)", d.Region, d.MW.Max())
+		}
+	}
+	// Distinct regions differ.
+	if ds[0].At(0) == ds[1].At(0) {
+		t.Errorf("regions B and C identical at hour 0")
+	}
+}
+
+func TestSyntheticRegions(t *testing.T) {
+	ds, err := SyntheticRegions(13, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 13 {
+		t.Fatalf("len = %d", len(ds))
+	}
+	// Cycle offset applied.
+	if ds[3].At(0) <= ds[0].At(0) {
+		t.Errorf("cycle offset missing: %v vs %v", ds[3].At(0), ds[0].At(0))
+	}
+	names := map[string]bool{}
+	for _, d := range ds {
+		if names[d.Region] {
+			t.Errorf("duplicate region %s", d.Region)
+		}
+		names[d.Region] = true
+	}
+}

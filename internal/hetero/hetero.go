@@ -1,0 +1,271 @@
+// Package hetero extends the paper's framework to heterogeneous data
+// centers — the first extension the paper names as future work (§IX):
+// "multiple service rates exist due to the heterogeneity in hardware. As a
+// result, power and performance management is more complicated ... on how
+// to distribute incoming requests to different servers and how to
+// dynamically configure the data center in determining the minimum number
+// of active servers."
+//
+// A heterogeneous site hosts several server classes (different service
+// rates and power laws). The local optimizer activates classes in order of
+// energy per unit throughput and sizes each class with the same G/G/m rule
+// as the homogeneous model, so site power becomes a convex piecewise-affine
+// function of load. The hour-level cost minimization stays a MILP: one
+// workload variable per class, one on/off binary per class, and the same
+// exact step-price encoding as the homogeneous optimizer.
+package hetero
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"billcap/internal/fattree"
+	"billcap/internal/queueing"
+)
+
+// ServerClass is one homogeneous pool inside a heterogeneous site.
+type ServerClass struct {
+	// Name identifies the hardware generation, e.g. "athlon-2.0".
+	Name string
+	// Count is the number of installed servers of this class.
+	Count int
+	// Mu is the per-server service rate in requests/hour.
+	Mu float64
+	// IdleW and PeakW are the class's per-server power law endpoints.
+	IdleW, PeakW float64
+}
+
+// Site is a heterogeneous data center.
+type Site struct {
+	Name string
+	// Classes are the server pools; order does not matter (the local
+	// optimizer sorts by efficiency).
+	Classes []ServerClass
+	// K is the workload variability (C_A²+C_B²)/2 shared by all classes.
+	K float64
+	// RespSLAHours is the response-time set point Rs.
+	RespSLAHours float64
+	// Net is the shared fat-tree fabric with its per-switch powers.
+	Net                fattree.Topology
+	EdgeW, AggW, CoreW float64
+	// CoolingEff is the site's cooling efficiency coe.
+	CoolingEff float64
+	// PowerCapMW is the supplier's cap on the whole site.
+	PowerCapMW float64
+}
+
+// Validate reports the first configuration error.
+func (s *Site) Validate() error {
+	if len(s.Classes) == 0 {
+		return fmt.Errorf("hetero %s: no server classes", s.Name)
+	}
+	total := 0
+	for _, c := range s.Classes {
+		switch {
+		case c.Count <= 0:
+			return fmt.Errorf("hetero %s/%s: count %d", s.Name, c.Name, c.Count)
+		case c.Mu <= 0:
+			return fmt.Errorf("hetero %s/%s: service rate %v", s.Name, c.Name, c.Mu)
+		case c.IdleW < 0 || c.PeakW < c.IdleW:
+			return fmt.Errorf("hetero %s/%s: power law idle=%v peak=%v", s.Name, c.Name, c.IdleW, c.PeakW)
+		}
+		total += c.Count
+	}
+	if s.K <= 0 {
+		return fmt.Errorf("hetero %s: variability %v", s.Name, s.K)
+	}
+	if s.CoolingEff <= 0 {
+		return fmt.Errorf("hetero %s: cooling efficiency %v", s.Name, s.CoolingEff)
+	}
+	if s.PowerCapMW <= 0 {
+		return fmt.Errorf("hetero %s: power cap %v", s.Name, s.PowerCapMW)
+	}
+	if s.Net.Capacity() < total {
+		return fmt.Errorf("hetero %s: fat tree k=%d holds %d hosts < %d servers",
+			s.Name, s.Net.K, s.Net.Capacity(), total)
+	}
+	usable := false
+	for _, c := range s.Classes {
+		if s.RespSLAHours > 1/c.Mu {
+			usable = true
+		}
+	}
+	if !usable {
+		return fmt.Errorf("hetero %s: no class can meet the %v h SLA", s.Name, s.RespSLAHours)
+	}
+	return nil
+}
+
+// unitNetW returns the affine per-server network power (shared fabric).
+func (s *Site) unitNetW() float64 {
+	e, a, c := s.Net.Rates()
+	return e*s.EdgeW + a*s.AggW + c*s.CoreW
+}
+
+// overhead is the cooling multiplier applied to IT power.
+func (s *Site) overhead() float64 { return 1 + 1/s.CoolingEff }
+
+// ClassPlan is the optimizer-facing affine model of one usable class, in
+// the site's efficiency order.
+type ClassPlan struct {
+	Class ServerClass
+	// MaxLambda is the class's SLA-feasible throughput ceiling.
+	MaxLambda float64
+	// A and B give class power in MW: A·λ + B while the class is active.
+	A, B float64
+	// MarginalW is cooled watts per (req/h) — the greedy sort key.
+	MarginalW float64
+}
+
+// Plans returns the usable classes sorted by increasing marginal energy,
+// with their affine power models (cooled, including the per-server share of
+// the network fabric). Classes whose bare service time exceeds the SLA are
+// excluded.
+func (s *Site) Plans() ([]ClassPlan, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	unit := s.unitNetW()
+	oh := s.overhead()
+	var out []ClassPlan
+	for _, c := range s.Classes {
+		q := queueing.Model{Mu: c.Mu, K: s.K}
+		if s.RespSLAHours <= 1/c.Mu {
+			continue // cannot meet the SLA at any fleet size
+		}
+		maxLam, err := q.MaxThroughput(c.Count, s.RespSLAHours)
+		if err != nil {
+			return nil, err
+		}
+		alpha, beta, err := q.ServerCoefficients(s.RespSLAHours)
+		if err != nil {
+			return nil, err
+		}
+		a := oh * (c.PeakW + unit) * alpha / 1e6
+		b := oh * (c.IdleW + unit) * beta / 1e6
+		out = append(out, ClassPlan{
+			Class:     c,
+			MaxLambda: maxLam,
+			A:         a,
+			B:         b,
+			MarginalW: a * 1e6,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].MarginalW < out[j].MarginalW })
+	return out, nil
+}
+
+// Dispatch is the local optimizer's split of a site's load across classes.
+type Dispatch struct {
+	// LambdaByClass is keyed like Plans() (efficiency order).
+	LambdaByClass []float64
+	// Servers is the total active server count.
+	Servers int
+	// PowerMW is the realized (discrete) site power.
+	PowerMW float64
+	// Utilization is the load-weighted mean utilization of active classes.
+	Utilization float64
+}
+
+// Evaluate runs the greedy local optimizer for the given load: fill classes
+// in efficiency order up to their SLA ceilings, then price the discrete
+// result (integer servers per class, shared fat-tree switches, cooling).
+// Greedy filling is power-optimal here because each class's power is affine
+// in its load with increasing marginal rates across the sorted classes.
+func (s *Site) Evaluate(lambda float64) (Dispatch, error) {
+	if lambda < 0 {
+		return Dispatch{}, fmt.Errorf("hetero %s: negative load %v", s.Name, lambda)
+	}
+	plans, err := s.Plans()
+	if err != nil {
+		return Dispatch{}, err
+	}
+	d := Dispatch{LambdaByClass: make([]float64, len(plans))}
+	if lambda == 0 {
+		return d, nil
+	}
+	remaining := lambda
+	serverW := 0.0
+	totalServers := 0
+	utilNum := 0.0
+	for i, pl := range plans {
+		if remaining <= 0 {
+			break
+		}
+		take := math.Min(remaining, pl.MaxLambda)
+		remaining -= take
+		d.LambdaByClass[i] = take
+		if take == 0 {
+			continue
+		}
+		q := queueing.Model{Mu: pl.Class.Mu, K: s.K}
+		n, err := q.MinServers(take, s.RespSLAHours)
+		if err != nil {
+			return Dispatch{}, err
+		}
+		if n > pl.Class.Count {
+			n = pl.Class.Count
+		}
+		totalServers += n
+		serverW += float64(n)*pl.Class.IdleW + (pl.Class.PeakW-pl.Class.IdleW)*take/pl.Class.Mu
+		utilNum += take * q.Utilization(take, n)
+	}
+	if remaining > 1e-9*lambda {
+		return Dispatch{}, fmt.Errorf("hetero %s: load %v exceeds SLA capacity %v",
+			s.Name, lambda, lambda-remaining)
+	}
+	sw := s.Net.Active(totalServers)
+	netW := float64(sw.Edge)*s.EdgeW + float64(sw.Agg)*s.AggW + float64(sw.Core)*s.CoreW
+	d.Servers = totalServers
+	d.PowerMW = (serverW + netW) * s.overhead() / 1e6
+	if lambda > 0 {
+		d.Utilization = utilNum / lambda
+	}
+	return d, nil
+}
+
+// MaxLambda returns the site's total SLA-feasible throughput, additionally
+// limited by the power cap under the affine model.
+func (s *Site) MaxLambda() (float64, error) {
+	plans, err := s.Plans()
+	if err != nil {
+		return 0, err
+	}
+	slack := s.RoundingSlackMW()
+	// Walk the efficiency order accumulating power until either all classes
+	// are exhausted or the cap binds.
+	total := 0.0
+	power := 0.0
+	for _, pl := range plans {
+		classMax := pl.MaxLambda
+		classPower := pl.A*classMax + pl.B
+		if power+classPower+slack <= s.PowerCapMW {
+			total += classMax
+			power += classPower
+			continue
+		}
+		// Cap binds inside this class.
+		if pl.A > 0 {
+			room := s.PowerCapMW - slack - power - pl.B
+			if room > 0 {
+				total += math.Min(classMax, room/pl.A)
+			}
+		}
+		break
+	}
+	return total, nil
+}
+
+// RoundingSlackMW bounds the discrete-vs-affine gap: one server of the
+// heaviest class, a pod of aggregation switches, a core and an edge switch,
+// cooled.
+func (s *Site) RoundingSlackMW() float64 {
+	worst := 0.0
+	for _, c := range s.Classes {
+		if c.PeakW > worst {
+			worst = c.PeakW
+		}
+	}
+	return (worst + float64(s.Net.K/2)*s.AggW + s.CoreW + s.EdgeW) * s.overhead() / 1e6
+}

@@ -1,0 +1,417 @@
+package hetero
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"billcap/internal/fattree"
+	"billcap/internal/pricing"
+)
+
+func near(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func twoClassSite() *Site {
+	net, _ := fattree.New(16) // 1024 hosts
+	return &Site{
+		Name: "test",
+		Classes: []ServerClass{
+			{Name: "slow", Count: 500, Mu: 3600 * 100, IdleW: 60, PeakW: 120},
+			{Name: "fast", Count: 400, Mu: 3600 * 300, IdleW: 80, PeakW: 160},
+		},
+		K:            1.0,
+		RespSLAHours: 0.02 / 3600,
+		Net:          net,
+		EdgeW:        84, AggW: 84, CoreW: 240,
+		CoolingEff: 2.0,
+		PowerCapMW: 1.0,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := twoClassSite().Validate(); err != nil {
+		t.Fatalf("valid site rejected: %v", err)
+	}
+	cases := []struct {
+		mutate func(*Site)
+		want   string
+	}{
+		{func(s *Site) { s.Classes = nil }, "no server classes"},
+		{func(s *Site) { s.Classes[0].Count = 0 }, "count"},
+		{func(s *Site) { s.Classes[0].Mu = 0 }, "service rate"},
+		{func(s *Site) { s.Classes[1].PeakW = 1 }, "power law"},
+		{func(s *Site) { s.K = 0 }, "variability"},
+		{func(s *Site) { s.CoolingEff = 0 }, "cooling"},
+		{func(s *Site) { s.PowerCapMW = 0 }, "power cap"},
+		{func(s *Site) { s.Classes[0].Count = 2000 }, "fat tree"},
+		{func(s *Site) { s.RespSLAHours = 1e-12 }, "SLA"},
+	}
+	for _, c := range cases {
+		s := twoClassSite()
+		c.mutate(s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("mutation %q: err = %v", c.want, err)
+		}
+	}
+}
+
+func TestPlansSortedByEfficiency(t *testing.T) {
+	s := twoClassSite()
+	plans, err := s.Plans()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 2 {
+		t.Fatalf("plans = %d", len(plans))
+	}
+	// The "fast" class serves 3× the requests at only ~1.3× the power, so
+	// its marginal energy must rank first.
+	if plans[0].Class.Name != "fast" {
+		t.Errorf("efficiency order = %s first, want fast", plans[0].Class.Name)
+	}
+	if plans[0].MarginalW >= plans[1].MarginalW {
+		t.Errorf("marginal energies not increasing: %v >= %v", plans[0].MarginalW, plans[1].MarginalW)
+	}
+}
+
+func TestPlansExcludeUselessClass(t *testing.T) {
+	s := twoClassSite()
+	// A class so slow its bare service time exceeds the SLA.
+	s.Classes = append(s.Classes, ServerClass{Name: "ancient", Count: 10, Mu: 3600 * 1, IdleW: 10, PeakW: 20})
+	plans, err := s.Plans()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pl := range plans {
+		if pl.Class.Name == "ancient" {
+			t.Errorf("SLA-infeasible class included")
+		}
+	}
+}
+
+func TestEvaluateFillsEfficientFirst(t *testing.T) {
+	s := twoClassSite()
+	plans, _ := s.Plans()
+	// A load the efficient class can fully absorb.
+	lam := plans[0].MaxLambda / 2
+	d, err := s.Evaluate(lam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.LambdaByClass[0] != lam || d.LambdaByClass[1] != 0 {
+		t.Errorf("split = %v, want all on the efficient class", d.LambdaByClass)
+	}
+	// A load that must spill into the second class.
+	lam = plans[0].MaxLambda * 1.2
+	d, err = s.Evaluate(lam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(d.LambdaByClass[0], plans[0].MaxLambda, 1) || d.LambdaByClass[1] <= 0 {
+		t.Errorf("split = %v, want first class saturated", d.LambdaByClass)
+	}
+}
+
+func TestEvaluateZeroAndOverload(t *testing.T) {
+	s := twoClassSite()
+	d, err := s.Evaluate(0)
+	if err != nil || d.PowerMW != 0 || d.Servers != 0 {
+		t.Errorf("zero load: %+v err=%v", d, err)
+	}
+	if _, err := s.Evaluate(1e15); err == nil {
+		t.Error("overload accepted")
+	}
+	if _, err := s.Evaluate(-1); err == nil {
+		t.Error("negative load accepted")
+	}
+}
+
+func TestEvaluatePowerAboveAffinePlan(t *testing.T) {
+	// Discrete rounding only ever adds power, and at most the rounding slack
+	// per active class boundary.
+	s := twoClassSite()
+	plans, _ := s.Plans()
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		maxLam := plans[0].MaxLambda + plans[1].MaxLambda
+		lam := r.Float64() * maxLam * 0.99
+		d, err := s.Evaluate(lam)
+		if err != nil {
+			return false
+		}
+		// Affine plan power for the greedy split.
+		affine := 0.0
+		remaining := lam
+		for _, pl := range plans {
+			take := math.Min(remaining, pl.MaxLambda)
+			remaining -= take
+			if take > 0 {
+				affine += pl.A*take + pl.B
+			}
+		}
+		slack := 2 * s.RoundingSlackMW() // one per class boundary
+		return d.PowerMW >= affine-1e-9 && d.PowerMW <= affine+slack
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxLambdaRespectsCap(t *testing.T) {
+	s := twoClassSite()
+	lam, err := s.MaxLambda()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Evaluate(lam)
+	if err != nil {
+		t.Fatalf("MaxLambda %v not servable: %v", lam, err)
+	}
+	if d.PowerMW > s.PowerCapMW+1e-9 {
+		t.Errorf("power %v above cap %v at MaxLambda", d.PowerMW, s.PowerCapMW)
+	}
+	// Tighten the cap: capacity must shrink.
+	s2 := twoClassSite()
+	s2.PowerCapMW = 0.02
+	lam2, err := s2.MaxLambda()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lam2 >= lam {
+		t.Errorf("tight cap did not shrink capacity: %v >= %v", lam2, lam)
+	}
+}
+
+func TestPaperHeteroSites(t *testing.T) {
+	sites := PaperHeteroSites()
+	if len(sites) != 3 {
+		t.Fatalf("len = %d", len(sites))
+	}
+	for _, s := range sites {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", s.Name, err)
+		}
+		if len(s.Classes) != 3 {
+			t.Errorf("%s has %d classes", s.Name, len(s.Classes))
+		}
+		lam, err := s.MaxLambda()
+		if err != nil || lam <= 0 {
+			t.Errorf("%s MaxLambda = %v, %v", s.Name, lam, err)
+		}
+	}
+}
+
+func newNetwork(t *testing.T) *Network {
+	t.Helper()
+	n, err := NewNetwork(PaperHeteroSites(), pricing.PaperPolicies(pricing.Policy1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(nil, nil); err == nil {
+		t.Error("empty network accepted")
+	}
+	if _, err := NewNetwork(PaperHeteroSites(), pricing.PaperPolicies(pricing.Policy1)[:1]); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestMinimizeCostServesAll(t *testing.T) {
+	n := newNetwork(t)
+	demand := []float64{170, 190, 150}
+	lam := 0.5 * n.MaxThroughput()
+	a, err := n.MinimizeCost(lam, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := 0.0
+	for _, l := range a.LambdaBySite {
+		served += l
+	}
+	if !near(served, lam, 1e-6*lam) {
+		t.Errorf("served %v of %v", served, lam)
+	}
+	if a.CostUSD <= 0 {
+		t.Errorf("cost %v", a.CostUSD)
+	}
+	// Realization tracks the prediction.
+	r, err := n.Realize(a.LambdaBySite, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CapViolations != 0 {
+		t.Errorf("cap violations %d", r.CapViolations)
+	}
+	if rel := math.Abs(r.CostUSD-a.CostUSD) / a.CostUSD; rel > 0.03 {
+		t.Errorf("realized %v vs predicted %v (rel %.3f)", r.CostUSD, a.CostUSD, rel)
+	}
+	// Realized power may only exceed the plan by the rounding slack.
+	for i := range n.Sites {
+		if r.PowerMW[i] > a.PowerMW[i]+3*n.Sites[i].RoundingSlackMW()+1e-9 {
+			t.Errorf("site %d realized %v vs planned %v", i, r.PowerMW[i], a.PowerMW[i])
+		}
+	}
+}
+
+func TestMinimizeCostInfeasible(t *testing.T) {
+	n := newNetwork(t)
+	_, err := n.MinimizeCost(2*n.MaxThroughput(), []float64{170, 190, 150})
+	if err == nil {
+		t.Fatal("over-capacity load accepted")
+	}
+}
+
+func TestMinimizeCostBeatsProportionalSplit(t *testing.T) {
+	// The optimizer must not be worse than a naive capacity-proportional
+	// dispatch, billed identically.
+	n := newNetwork(t)
+	demand := []float64{170, 190, 150}
+	lam := 0.6 * n.MaxThroughput()
+	a, err := n.MinimizeCost(lam, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := n.Realize(a.LambdaBySite, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := make([]float64, len(n.Sites))
+	for i := range n.Sites {
+		naive[i] = lam * n.maxLam[i] / n.MaxThroughput()
+	}
+	nv, err := n.Realize(naive, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.BillUSD() > nv.BillUSD()*1.005 {
+		t.Errorf("optimized bill %v above naive %v", opt.BillUSD(), nv.BillUSD())
+	}
+}
+
+func TestHeterogeneityHelps(t *testing.T) {
+	// Dispatching per class must not cost more than treating each site as
+	// if it only had its *worst* usable class (a lower-bound sanity check
+	// that the class split is doing useful work: the efficient classes
+	// carry the load first).
+	n := newNetwork(t)
+	demand := []float64{170, 190, 150}
+	lam := 0.4 * n.MaxThroughput()
+	a, err := n.MinimizeCost(lam, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, split := range a.LambdaByClass {
+		plans := n.plans[i]
+		for c := 1; c < len(plans); c++ {
+			// A dearer class only carries load once every cheaper class is
+			// saturated (within tolerance) — the greedy structure must
+			// survive the MILP.
+			if split[c] > 1e-6*lam {
+				prev := split[c-1]
+				if prev < plans[c-1].MaxLambda*(1-1e-6) {
+					t.Errorf("site %d: class %d loaded while class %d at %.3g/%.3g",
+						i, c, c-1, prev, plans[c-1].MaxLambda)
+				}
+			}
+		}
+	}
+}
+
+func TestMaximizeThroughputWithinBudget(t *testing.T) {
+	n := newNetwork(t)
+	demand := []float64{170, 190, 150}
+	lam := 0.6 * n.MaxThroughput()
+	full, err := n.MinimizeCost(lam, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half the uncapped cost: some load must be shed, budget respected.
+	budget := full.CostUSD / 2
+	a, err := n.MaximizeThroughput(lam, budget, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := 0.0
+	for _, l := range a.LambdaBySite {
+		served += l
+	}
+	if served >= lam*(1-1e-9) {
+		t.Errorf("served %v of %v despite a half budget", served, lam)
+	}
+	if served <= 0 {
+		t.Errorf("served nothing with a positive budget")
+	}
+	if a.CostUSD > budget*(1+1e-6) {
+		t.Errorf("cost %v above budget %v", a.CostUSD, budget)
+	}
+	if _, err := n.MaximizeThroughput(lam, -1, demand); err == nil {
+		t.Error("negative budget accepted")
+	}
+}
+
+func TestHeteroDecideHourBranches(t *testing.T) {
+	n := newNetwork(t)
+	demand := []float64{170, 190, 150}
+	lam := 0.6 * n.MaxThroughput()
+	prem := 0.8 * lam
+	full, err := n.MinimizeCost(lam, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Abundant budget → step 1 result.
+	d, err := n.DecideHour(lam, prem, full.CostUSD*2, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(d.CostUSD, full.CostUSD, 1e-6*full.CostUSD) {
+		t.Errorf("abundant budget cost %v, want %v", d.CostUSD, full.CostUSD)
+	}
+
+	// Budget between premium floor and full cost → capped, premium kept.
+	premOnly, err := n.MinimizeCost(prem, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := (premOnly.CostUSD + full.CostUSD) / 2
+	d, err = n.DecideHour(lam, prem, mid, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := 0.0
+	for _, l := range d.LambdaBySite {
+		served += l
+	}
+	if served < prem*(1-1e-6) {
+		t.Errorf("capped hour dropped premium: %v < %v", served, prem)
+	}
+	if d.CostUSD > mid*(1+1e-6) {
+		t.Errorf("capped hour cost %v over %v", d.CostUSD, mid)
+	}
+
+	// Budget below the premium floor → premium-only, budget violated.
+	d, err = n.DecideHour(lam, prem, 1, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served = 0
+	for _, l := range d.LambdaBySite {
+		served += l
+	}
+	if !near(served, prem, 1e-6*prem) {
+		t.Errorf("premium-only served %v, want %v", served, prem)
+	}
+	if d.CostUSD <= 1 {
+		t.Errorf("premium-only cost %v did not exceed the token budget", d.CostUSD)
+	}
+
+	if _, err := n.DecideHour(lam, 2*lam, 1, demand); err == nil {
+		t.Error("premium above total accepted")
+	}
+}

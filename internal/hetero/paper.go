@@ -1,0 +1,71 @@
+package hetero
+
+import (
+	"fmt"
+
+	"billcap/internal/fattree"
+)
+
+// classSpecs are the paper's three server generations (§VI-A), reused as
+// the hardware mix of a heterogeneous fleet ("data center repair,
+// replacement, and expansion" — paper §IX).
+var classSpecs = []struct {
+	name     string
+	sp80W    float64
+	muPerSec float64
+}{
+	{"athlon-2.0", 88.88, 500},
+	{"pentium-1.2", 34.10, 300},
+	{"pentiumD-2.9", 49.90, 725},
+}
+
+func class(idx, count int) ServerClass {
+	sp := classSpecs[idx]
+	return ServerClass{
+		Name:  sp.name,
+		Count: count,
+		Mu:    sp.muPerSec * 3600,
+		IdleW: 0.5 * sp.sp80W,
+		PeakW: 1.125 * sp.sp80W,
+	}
+}
+
+// PaperHeteroSites returns the three paper locations refitted as
+// heterogeneous fleets: each site mixes the three server generations in a
+// different proportion (as a site that has been partially upgraded would),
+// with the same fabric, cooling and cap parameters as the homogeneous
+// model.
+func PaperHeteroSites() []*Site {
+	mixes := []struct {
+		name               string
+		counts             [3]int
+		edgeW, aggW, coreW float64
+		coe                float64
+		capMW              float64
+	}{
+		{"DC1-B", [3]int{400_000, 200_000, 100_000}, 84, 84, 240, 1.94, 105},
+		{"DC2-C", [3]int{100_000, 450_000, 150_000}, 70, 70, 260, 1.39, 48},
+		{"DC3-D", [3]int{150_000, 100_000, 450_000}, 75, 75, 240, 1.74, 63},
+	}
+	out := make([]*Site, len(mixes))
+	for i, m := range mixes {
+		total := m.counts[0] + m.counts[1] + m.counts[2]
+		net, err := fattree.ForHosts(total)
+		if err != nil {
+			panic(fmt.Sprintf("hetero: %v", err))
+		}
+		out[i] = &Site{
+			Name: m.name,
+			Classes: []ServerClass{
+				class(0, m.counts[0]), class(1, m.counts[1]), class(2, m.counts[2]),
+			},
+			K:            1.0,
+			RespSLAHours: 0.005 / 3600,
+			Net:          net,
+			EdgeW:        m.edgeW, AggW: m.aggW, CoreW: m.coreW,
+			CoolingEff: m.coe,
+			PowerCapMW: m.capMW,
+		}
+	}
+	return out
+}

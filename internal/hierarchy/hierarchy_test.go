@@ -1,0 +1,179 @@
+package hierarchy
+
+import (
+	"math"
+	"testing"
+
+	"billcap/internal/core"
+	"billcap/internal/dcmodel"
+	"billcap/internal/grid"
+	"billcap/internal/pricing"
+)
+
+func nineSiteFleet(t *testing.T) ([]*dcmodel.Site, []pricing.Policy, []float64) {
+	t.Helper()
+	dcs := dcmodel.SyntheticSites(9)
+	pols := pricing.Synthetic(9)
+	regions, err := grid.SyntheticRegions(9, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand := make([]float64, 9)
+	for i := range demand {
+		demand[i] = regions[i].At(0)
+	}
+	return dcs, pols, demand
+}
+
+func TestNewValidation(t *testing.T) {
+	dcs, pols, _ := nineSiteFleet(t)
+	if _, err := New(dcs, pols[:5], []int{3, 3, 3}); err == nil {
+		t.Error("policy arity mismatch accepted")
+	}
+	if _, err := New(dcs, pols, []int{3, 3}); err == nil {
+		t.Error("wrong group-size sum accepted")
+	}
+	if _, err := New(dcs, pols, []int{3, 0, 6}); err == nil {
+		t.Error("zero group size accepted")
+	}
+	c, err := New(dcs, pols, []int{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Groups) != 3 || c.Capacity() <= 0 {
+		t.Fatalf("groups=%d capacity=%v", len(c.Groups), c.Capacity())
+	}
+}
+
+func TestHierarchicalServesEverythingUncapped(t *testing.T) {
+	dcs, pols, demand := nineSiteFleet(t)
+	c, err := New(dcs, pols, []int{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam := 0.6 * c.Capacity()
+	d, err := c.DecideHour(core.HourInput{
+		TotalLambda:   lam,
+		PremiumLambda: 0.8 * lam,
+		DemandMW:      demand,
+		BudgetUSD:     math.Inf(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Served-lam) > 1e-6*lam {
+		t.Errorf("served %v of %v", d.Served, lam)
+	}
+	if math.Abs(d.ServedPremium-0.8*lam) > 1e-6*lam {
+		t.Errorf("premium served %v of %v", d.ServedPremium, 0.8*lam)
+	}
+	total := 0.0
+	for _, l := range d.Lambdas {
+		total += l
+	}
+	if math.Abs(total-lam) > 1e-6*lam {
+		t.Errorf("site lambdas sum %v, want %v", total, lam)
+	}
+}
+
+func TestHierarchicalCloseToCentralized(t *testing.T) {
+	// The two-level split must land within a few percent of the centralized
+	// optimum on predicted cost.
+	dcs, pols, demand := nineSiteFleet(t)
+	c, err := New(dcs, pols, []int{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	central, err := core.NewSystem(dcs, pols, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0.3, 0.6, 0.85} {
+		lam := frac * c.Capacity()
+		in := core.HourInput{TotalLambda: lam, PremiumLambda: 0, DemandMW: demand, BudgetUSD: math.Inf(1)}
+		hd, err := c.DecideHour(in)
+		if err != nil {
+			t.Fatalf("frac %v: %v", frac, err)
+		}
+		cd, err := central.DecideHour(in)
+		if err != nil {
+			t.Fatalf("frac %v central: %v", frac, err)
+		}
+		if hd.PredictedCostUSD < cd.PredictedCostUSD*(1-1e-6) {
+			t.Errorf("frac %v: hierarchical %v below centralized optimum %v (impossible)",
+				frac, hd.PredictedCostUSD, cd.PredictedCostUSD)
+		}
+		gap := (hd.PredictedCostUSD - cd.PredictedCostUSD) / cd.PredictedCostUSD
+		if gap > 0.10 {
+			t.Errorf("frac %v: hierarchical gap %.1f%% over centralized", frac, 100*gap)
+		}
+	}
+}
+
+func TestHierarchicalBudgetSplit(t *testing.T) {
+	dcs, pols, demand := nineSiteFleet(t)
+	c, err := New(dcs, pols, []int{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam := 0.7 * c.Capacity()
+	// Find the uncapped cost, then halve it as a binding budget.
+	un, err := c.DecideHour(core.HourInput{TotalLambda: lam, PremiumLambda: 0.5 * lam, DemandMW: demand, BudgetUSD: math.Inf(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := un.PredictedCostUSD * 0.7
+	d, err := c.DecideHour(core.HourInput{TotalLambda: lam, PremiumLambda: 0.5 * lam, DemandMW: demand, BudgetUSD: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group budgets sum to the hour's budget.
+	sum := 0.0
+	for _, b := range d.GroupBudget {
+		sum += b
+	}
+	if math.Abs(sum-budget) > 1e-6*budget {
+		t.Errorf("group budgets sum %v, want %v", sum, budget)
+	}
+	// Premium is preserved; ordinary is throttled.
+	if d.ServedPremium < 0.5*lam*(1-1e-6) {
+		t.Errorf("premium served %v of %v", d.ServedPremium, 0.5*lam)
+	}
+	if d.Served >= lam*(1-1e-9) {
+		t.Errorf("budget %v did not throttle anything (served %v of %v)", budget, d.Served, lam)
+	}
+	if d.PredictedCostUSD > budget*1.05 {
+		t.Errorf("predicted cost %v far above budget %v", d.PredictedCostUSD, budget)
+	}
+}
+
+func TestHierarchicalOverCapacityClamps(t *testing.T) {
+	dcs, pols, demand := nineSiteFleet(t)
+	c, err := New(dcs, pols, []int{4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam := 1.5 * c.Capacity()
+	d, err := c.DecideHour(core.HourInput{TotalLambda: lam, PremiumLambda: 0, DemandMW: demand, BudgetUSD: math.Inf(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Served > c.Capacity()*(1+1e-9) {
+		t.Errorf("served %v beyond capacity %v", d.Served, c.Capacity())
+	}
+	if d.Served < 0.9*c.Capacity() {
+		t.Errorf("served %v, want close to capacity %v", d.Served, c.Capacity())
+	}
+}
+
+func TestDemandArity(t *testing.T) {
+	dcs, pols, _ := nineSiteFleet(t)
+	c, err := New(dcs, pols, []int{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.DecideHour(core.HourInput{TotalLambda: 1, DemandMW: []float64{1, 2}, BudgetUSD: 1})
+	if err == nil {
+		t.Error("demand arity mismatch accepted")
+	}
+}

@@ -1,0 +1,129 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDualsKnownExample(t *testing.T) {
+	// max 3x+5y s.t. x ≤ 4, 2y ≤ 12, 3x+2y ≤ 18 → optimum 36 at (2,6).
+	// Textbook duals: y1 = 0, y2 = 3/2, y3 = 1.
+	p := NewProblem()
+	p.SetMaximize(true)
+	x := p.AddVar("x", 3)
+	y := p.AddVar("y", 5)
+	p.AddConstraint([]Term{{Var: x, Coef: 1}}, LE, 4)
+	p.AddConstraint([]Term{{Var: y, Coef: 2}}, LE, 12)
+	p.AddConstraint([]Term{{Var: x, Coef: 3}, {Var: y, Coef: 2}}, LE, 18)
+	s := p.Solve()
+	if s.Status != Optimal {
+		t.Fatal(s.Status)
+	}
+	want := []float64{0, 1.5, 1}
+	for k, w := range want {
+		if !near(s.Duals[k], w, 1e-8) {
+			t.Errorf("dual[%d] = %v, want %v", k, s.Duals[k], w)
+		}
+	}
+}
+
+func TestDualsShadowPriceDirection(t *testing.T) {
+	// min x s.t. x ≥ 5: relaxing b upward by 1 raises the optimum by 1, so
+	// the dual is +1 (minimization sense).
+	p := NewProblem()
+	x := p.AddVar("x", 1)
+	p.AddConstraint([]Term{{Var: x, Coef: 1}}, GE, 5)
+	s := p.Solve()
+	if s.Status != Optimal || !near(s.Duals[0], 1, 1e-9) {
+		t.Fatalf("dual = %v, want 1", s.Duals)
+	}
+	// Same row written as −x ≤ −5 (negated rhs): the dual must come back in
+	// the ORIGINAL row's orientation: d(obj)/d(−5) = −1.
+	q := NewProblem()
+	xq := q.AddVar("x", 1)
+	q.AddConstraint([]Term{{Var: xq, Coef: -1}}, LE, -5)
+	sq := q.Solve()
+	if sq.Status != Optimal || !near(sq.Duals[0], -1, 1e-9) {
+		t.Fatalf("negated-row dual = %v, want -1", sq.Duals)
+	}
+}
+
+func TestDualsEqualityRow(t *testing.T) {
+	// min 2x+3y s.t. x+y = 10, x ≤ 6. At optimum x=6, y=4 → 24.
+	// Raising the equality rhs by δ forces more y: dObj/db = 3.
+	p := NewProblem()
+	x := p.AddVar("x", 2)
+	y := p.AddVar("y", 3)
+	p.AddConstraint([]Term{{Var: x, Coef: 1}, {Var: y, Coef: 1}}, EQ, 10)
+	p.AddConstraint([]Term{{Var: x, Coef: 1}}, LE, 6)
+	s := p.Solve()
+	if s.Status != Optimal {
+		t.Fatal(s.Status)
+	}
+	if !near(s.Duals[0], 3, 1e-8) {
+		t.Errorf("equality dual = %v, want 3", s.Duals[0])
+	}
+	// The x ≤ 6 row saves 1 per unit (swap y for x): dual −1 (min sense).
+	if !near(s.Duals[1], -1, 1e-8) {
+		t.Errorf("binding ≤ dual = %v, want -1", s.Duals[1])
+	}
+}
+
+// TestStrongDualityProperty: for feasible bounded problems with x ≥ 0,
+// strong duality gives cᵀx* = Σ_k y_k b_k when the duals are the standard
+// row prices (variable bounds at zero contribute nothing).
+func TestStrongDualityProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, _ := randomFeasibleLP(r)
+		s := p.Solve()
+		if s.Status != Optimal {
+			return true
+		}
+		yb := 0.0
+		for k := 0; k < p.NumConstraints(); k++ {
+			yb += s.Duals[k] * p.Constraint(k).RHS
+		}
+		if !near(yb, s.Objective, 1e-6*(1+math.Abs(s.Objective))) {
+			t.Logf("seed %d: yᵀb = %v vs objective %v", seed, yb, s.Objective)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDualsPredictPerturbationProperty: nudging a binding row's rhs by a
+// small δ changes the optimum by ≈ y_k·δ (basis permitting).
+func TestDualsPredictPerturbation(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar("x", 3)
+	y := p.AddVar("y", 5)
+	p.AddConstraint([]Term{{Var: x, Coef: 1}}, LE, 4)
+	p.AddConstraint([]Term{{Var: y, Coef: 2}}, LE, 12)
+	row := p.AddConstraint([]Term{{Var: x, Coef: 3}, {Var: y, Coef: 2}}, LE, 18)
+	p.SetMaximize(true)
+	s := p.Solve()
+
+	const delta = 0.25
+	q := p.Clone()
+	// Rebuild the perturbed row: Clone has no rhs mutator, so add a fresh
+	// problem with the shifted rhs.
+	q2 := NewProblem()
+	q2.SetMaximize(true)
+	xq := q2.AddVar("x", 3)
+	yq := q2.AddVar("y", 5)
+	q2.AddConstraint([]Term{{Var: xq, Coef: 1}}, LE, 4)
+	q2.AddConstraint([]Term{{Var: yq, Coef: 2}}, LE, 12)
+	q2.AddConstraint([]Term{{Var: xq, Coef: 3}, {Var: yq, Coef: 2}}, LE, 18+delta)
+	s2 := q2.Solve()
+	_ = q
+	want := s.Objective + s.Duals[row]*delta
+	if !near(s2.Objective, want, 1e-8) {
+		t.Errorf("perturbed objective %v, dual predicts %v", s2.Objective, want)
+	}
+}

@@ -1,0 +1,228 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimize    c·x
+//	subject to  a_k·x (≤ | = | ≥) b_k   for every constraint k
+//	            x ≥ 0
+//
+// All variables are nonnegative; callers that need upper bounds or branching
+// bounds (as the MILP layer does) add them as explicit constraint rows. The
+// problems produced by this repository are tiny (tens of variables and rows),
+// so a dense tableau is both simple and fast.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rel is the relation of a constraint row to its right-hand side.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota // a·x ≤ b
+	GE            // a·x ≥ b
+	EQ            // a·x = b
+)
+
+// String returns the conventional symbol for the relation.
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return fmt.Sprintf("Rel(%d)", int(r))
+}
+
+// Term is one sparse entry of a constraint or objective row.
+type Term struct {
+	Var  int     // variable index, 0-based
+	Coef float64 // coefficient
+}
+
+// Constraint is a single linear row a·x (rel) b stored densely.
+type Constraint struct {
+	Coeffs []float64
+	Rel    Rel
+	RHS    float64
+}
+
+// Problem is a linear program under construction. The zero value is an empty
+// problem ready for AddVar / AddConstraint.
+type Problem struct {
+	obj         []float64
+	names       []string
+	constraints []Constraint
+	maximize    bool
+}
+
+// NewProblem returns an empty minimization problem.
+func NewProblem() *Problem { return &Problem{} }
+
+// SetMaximize flips the optimization direction to maximization. The reported
+// Solution.Objective is then the maximized value.
+func (p *Problem) SetMaximize(max bool) { p.maximize = max }
+
+// Maximizing reports whether the problem maximizes its objective.
+func (p *Problem) Maximizing() bool { return p.maximize }
+
+// AddVar appends a nonnegative variable with the given objective coefficient
+// and returns its index. The name is only used for diagnostics.
+func (p *Problem) AddVar(name string, objCoef float64) int {
+	p.obj = append(p.obj, objCoef)
+	p.names = append(p.names, name)
+	for i := range p.constraints {
+		p.constraints[i].Coeffs = append(p.constraints[i].Coeffs, 0)
+	}
+	return len(p.obj) - 1
+}
+
+// NumVars returns the number of variables added so far.
+func (p *Problem) NumVars() int { return len(p.obj) }
+
+// NumConstraints returns the number of constraint rows added so far.
+func (p *Problem) NumConstraints() int { return len(p.constraints) }
+
+// VarName returns the diagnostic name of variable v.
+func (p *Problem) VarName(v int) string {
+	if v < 0 || v >= len(p.names) {
+		return fmt.Sprintf("x%d", v)
+	}
+	return p.names[v]
+}
+
+// ObjectiveCoef returns the objective coefficient of variable v.
+func (p *Problem) ObjectiveCoef(v int) float64 { return p.obj[v] }
+
+// SetObjectiveCoef overwrites the objective coefficient of variable v.
+func (p *Problem) SetObjectiveCoef(v int, c float64) { p.obj[v] = c }
+
+// AddConstraint appends the row Σ terms (rel) rhs and returns its index.
+// Terms referencing the same variable accumulate.
+func (p *Problem) AddConstraint(terms []Term, rel Rel, rhs float64) int {
+	row := make([]float64, len(p.obj))
+	for _, t := range terms {
+		if t.Var < 0 || t.Var >= len(p.obj) {
+			panic(fmt.Sprintf("lp: constraint references unknown variable %d", t.Var))
+		}
+		row[t.Var] += t.Coef
+	}
+	p.constraints = append(p.constraints, Constraint{Coeffs: row, Rel: rel, RHS: rhs})
+	return len(p.constraints) - 1
+}
+
+// Constraint returns a copy-free view of row k. Callers must not mutate it.
+func (p *Problem) Constraint(k int) Constraint { return p.constraints[k] }
+
+// Clone returns a deep copy of the problem, so that the copy can gain extra
+// rows (e.g. branching bounds) without disturbing the original.
+func (p *Problem) Clone() *Problem {
+	q := &Problem{
+		obj:      append([]float64(nil), p.obj...),
+		names:    append([]string(nil), p.names...),
+		maximize: p.maximize,
+	}
+	q.constraints = make([]Constraint, len(p.constraints))
+	for i, c := range p.constraints {
+		q.constraints[i] = Constraint{
+			Coeffs: append([]float64(nil), c.Coeffs...),
+			Rel:    c.Rel,
+			RHS:    c.RHS,
+		}
+	}
+	return q
+}
+
+// Status is the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal    Status = iota // an optimal basic feasible solution was found
+	Infeasible               // no point satisfies all constraints
+	Unbounded                // the objective decreases without bound
+	IterLimit                // the pivot limit was exhausted (should not happen)
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Solution holds the result of a solve.
+type Solution struct {
+	Status    Status
+	X         []float64 // variable values (valid when Status == Optimal)
+	Objective float64   // objective value in the problem's own direction
+	Pivots    int       // simplex pivots performed across both phases
+	// Duals holds one shadow price per constraint row (valid when Status ==
+	// Optimal): the rate of change of the optimal objective per unit of
+	// right-hand side, in the problem's own optimization direction. This is
+	// what makes the locational marginal price of a power-balance row drop
+	// out of an optimal power flow.
+	Duals []float64
+}
+
+// Residual describes how much a solution violates one constraint.
+type Residual struct {
+	Row       int
+	Violation float64 // positive amount by which the row is violated
+}
+
+// CheckFeasible returns the rows of p violated by x beyond tol, including
+// negativity of any variable (reported with Row == -1-varIndex).
+func (p *Problem) CheckFeasible(x []float64, tol float64) []Residual {
+	var out []Residual
+	for v, xv := range x {
+		if xv < -tol {
+			out = append(out, Residual{Row: -1 - v, Violation: -xv})
+		}
+	}
+	for k, c := range p.constraints {
+		dot := 0.0
+		for j, a := range c.Coeffs {
+			if j < len(x) {
+				dot += a * x[j]
+			}
+		}
+		var viol float64
+		switch c.Rel {
+		case LE:
+			viol = dot - c.RHS
+		case GE:
+			viol = c.RHS - dot
+		case EQ:
+			viol = math.Abs(dot - c.RHS)
+		}
+		if viol > tol {
+			out = append(out, Residual{Row: k, Violation: viol})
+		}
+	}
+	return out
+}
+
+// Eval returns the objective value of x in the problem's own direction.
+func (p *Problem) Eval(x []float64) float64 {
+	dot := 0.0
+	for j, c := range p.obj {
+		if j < len(x) {
+			dot += c * x[j]
+		}
+	}
+	return dot
+}

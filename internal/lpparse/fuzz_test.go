@@ -1,0 +1,36 @@
+package lpparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that arbitrary input never panics the parser and that
+// whatever parses also solves without panicking.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"min: x + y\nx + 2y >= 4\n3x + y >= 6\n",
+		"max: 10a + 13b\ncap: 5a + 6b <= 10\nbin a b\n",
+		"min: 3x\nint x\n2x = 7\n",
+		"min: x\nc1: x =< 4\nc2: x => 1\n",
+		"# only a comment\n",
+		"min: 0.5*z - w\nz >= 2\nw <= 3\n",
+		"min: x\nx >< 3\n",
+		"min: 3.2.1 x\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		// Bound the search so adversarial models cannot run long.
+		if p.Problem.NumVars() > 12 || p.Problem.NumConstraints() > 24 {
+			return
+		}
+		sol := p.Problem.Solve()
+		_ = sol.Status.String()
+	})
+}

@@ -1,0 +1,258 @@
+// Package lpparse parses a small human-writable text format for (mixed
+// integer) linear programs, in the spirit of the lp_solve LP format the
+// paper's authors used. It backs the cmd/milpsolve tool.
+//
+// Format (one statement per line; '#' starts a comment):
+//
+//	min: 3 x + 4.5 y - z        # or "max:"
+//	c1: 2 x + y >= 5            # optionally named rows
+//	x + y <= 10
+//	x - y = 2
+//	int x z                     # declare general integers
+//	bin b                       # declare binaries (adds 0 ≤ b ≤ 1)
+//
+// Variables are nonnegative and spring into existence on first mention.
+// Coefficients may be attached ("3x") or separated ("3 x"); bare variables
+// mean coefficient 1.
+package lpparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"billcap/internal/lp"
+	"billcap/internal/milp"
+)
+
+// Parsed is the outcome of parsing: a ready MILP plus the variable names in
+// declaration order.
+type Parsed struct {
+	Problem *milp.Problem
+	Vars    []string
+	index   map[string]int
+}
+
+// VarIndex returns the index of a named variable, or -1.
+func (p *Parsed) VarIndex(name string) int {
+	if i, ok := p.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+type parser struct {
+	out     *Parsed
+	haveObj bool
+	line    int
+}
+
+// Parse reads the whole format from r.
+func Parse(r io.Reader) (*Parsed, error) {
+	p := &parser{out: &Parsed{
+		Problem: milp.NewProblem(),
+		index:   map[string]int{},
+	}}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		p.line++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := p.statement(line); err != nil {
+			return nil, fmt.Errorf("line %d: %w", p.line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !p.haveObj {
+		return nil, fmt.Errorf("no objective (expected a \"min:\" or \"max:\" line)")
+	}
+	return p.out, nil
+}
+
+func (p *parser) statement(line string) error {
+	lower := strings.ToLower(line)
+	switch {
+	case strings.HasPrefix(lower, "min:"), strings.HasPrefix(lower, "max:"):
+		if p.haveObj {
+			return fmt.Errorf("duplicate objective")
+		}
+		p.haveObj = true
+		p.out.Problem.SetMaximize(strings.HasPrefix(lower, "max:"))
+		terms, err := p.expr(strings.TrimSpace(line[4:]))
+		if err != nil {
+			return err
+		}
+		for _, t := range terms {
+			p.out.Problem.SetObjectiveCoef(t.Var, p.out.Problem.ObjectiveCoef(t.Var)+t.Coef)
+		}
+		return nil
+	case strings.HasPrefix(lower, "int "):
+		return p.declare(line[4:], false)
+	case strings.HasPrefix(lower, "bin "):
+		return p.declare(line[4:], true)
+	}
+	return p.constraint(line)
+}
+
+func (p *parser) declare(names string, binary bool) error {
+	fields := strings.Fields(names)
+	if len(fields) == 0 {
+		return fmt.Errorf("empty declaration")
+	}
+	for _, n := range fields {
+		if !validIdent(n) {
+			return fmt.Errorf("bad variable name %q", n)
+		}
+		v := p.variable(n)
+		p.out.Problem.SetInteger(v, true)
+		if binary {
+			p.out.Problem.AddConstraint([]lp.Term{{Var: v, Coef: 1}}, lp.LE, 1)
+		}
+	}
+	return nil
+}
+
+func (p *parser) constraint(line string) error {
+	// Strip an optional "name:" prefix (not an objective, already handled).
+	if i := strings.IndexByte(line, ':'); i >= 0 {
+		name := strings.TrimSpace(line[:i])
+		if validIdent(name) {
+			line = strings.TrimSpace(line[i+1:])
+		}
+	}
+	rel, lhs, rhs, err := splitRelation(line)
+	if err != nil {
+		return err
+	}
+	terms, err := p.expr(lhs)
+	if err != nil {
+		return err
+	}
+	b, err := strconv.ParseFloat(strings.TrimSpace(rhs), 64)
+	if err != nil {
+		return fmt.Errorf("bad right-hand side %q", strings.TrimSpace(rhs))
+	}
+	p.out.Problem.AddConstraint(terms, rel, b)
+	return nil
+}
+
+func splitRelation(line string) (lp.Rel, string, string, error) {
+	for _, c := range []struct {
+		op  string
+		rel lp.Rel
+	}{{"<=", lp.LE}, {">=", lp.GE}, {"=<", lp.LE}, {"=>", lp.GE}, {"=", lp.EQ}} {
+		if i := strings.Index(line, c.op); i >= 0 {
+			return c.rel, line[:i], line[i+len(c.op):], nil
+		}
+	}
+	return 0, "", "", fmt.Errorf("no relation (<=, >=, =) in %q", line)
+}
+
+// expr parses "3 x + 4.5y - z" into terms.
+func (p *parser) expr(s string) ([]lp.Term, error) {
+	var out []lp.Term
+	i := 0
+	n := len(s)
+	sign := 1.0
+	first := true
+	for i < n {
+		for i < n && unicode.IsSpace(rune(s[i])) {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		switch s[i] {
+		case '+':
+			sign = 1
+			i++
+			continue
+		case '-':
+			sign = -1
+			i++
+			continue
+		}
+		if !first && sign == 0 {
+			return nil, fmt.Errorf("missing operator near %q", s[i:])
+		}
+		// Optional coefficient (plain decimals; no scientific notation).
+		j := i
+		for j < n && (unicode.IsDigit(rune(s[j])) || s[j] == '.') {
+			j++
+		}
+		coef := 1.0
+		if j > i {
+			v, err := strconv.ParseFloat(s[i:j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad coefficient %q", s[i:j])
+			}
+			coef = v
+			i = j
+			for i < n && unicode.IsSpace(rune(s[i])) {
+				i++
+			}
+			if i < n && s[i] == '*' {
+				i++
+				for i < n && unicode.IsSpace(rune(s[i])) {
+					i++
+				}
+			}
+		}
+		// Variable name.
+		k := i
+		for k < n && (unicode.IsLetter(rune(s[k])) || unicode.IsDigit(rune(s[k])) || s[k] == '_') {
+			if k == i && unicode.IsDigit(rune(s[k])) {
+				break
+			}
+			k++
+		}
+		if k == i {
+			if j > i || coef != 1 {
+				return nil, fmt.Errorf("dangling coefficient near %q", s[i:])
+			}
+			return nil, fmt.Errorf("expected a variable near %q", s[i:])
+		}
+		name := s[i:k]
+		out = append(out, lp.Term{Var: p.variable(name), Coef: sign * coef})
+		i = k
+		sign = 0 // require an explicit operator before the next term
+		first = false
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty expression")
+	}
+	return out, nil
+}
+
+func (p *parser) variable(name string) int {
+	if v, ok := p.out.index[name]; ok {
+		return v
+	}
+	v := p.out.Problem.AddVar(name, 0)
+	p.out.index[name] = v
+	p.out.Vars = append(p.out.Vars, name)
+	return v
+}
+
+func validIdent(s string) bool {
+	if s == "" || unicode.IsDigit(rune(s[0])) {
+		return false
+	}
+	for _, r := range s {
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+			return false
+		}
+	}
+	return true
+}

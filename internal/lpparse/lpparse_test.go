@@ -1,0 +1,132 @@
+package lpparse
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"billcap/internal/milp"
+)
+
+func near(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func parse(t *testing.T, src string) *Parsed {
+	t.Helper()
+	p, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("parse: %v\nsource:\n%s", err, src)
+	}
+	return p
+}
+
+func TestSimpleLP(t *testing.T) {
+	p := parse(t, `
+# a comment
+min: x + y
+c1: x + 2y >= 4
+3 x + y >= 6
+`)
+	s := p.Problem.Solve()
+	if s.Status != milp.Optimal || !near(s.Objective, 2.8, 1e-8) {
+		t.Fatalf("got %v obj=%v, want optimal 2.8", s.Status, s.Objective)
+	}
+	if p.VarIndex("x") != 0 || p.VarIndex("y") != 1 || p.VarIndex("zz") != -1 {
+		t.Errorf("var indices wrong: %v", p.Vars)
+	}
+}
+
+func TestMaximizeWithBinaries(t *testing.T) {
+	p := parse(t, `
+max: 10a + 13b + 7c + 4d
+cap: 5a + 6b + 4c + 2d <= 10
+bin a b c d
+`)
+	s := p.Problem.Solve()
+	if s.Status != milp.Optimal || !near(s.Objective, 20, 1e-7) {
+		t.Fatalf("got %v obj=%v, want optimal 20", s.Status, s.Objective)
+	}
+}
+
+func TestIntegerDeclaration(t *testing.T) {
+	p := parse(t, `
+min: 3x + 4y
+2x + y >= 5
+x + 3y >= 7
+int x y
+`)
+	s := p.Problem.Solve()
+	if s.Status != milp.Optimal || !near(s.Objective, 14, 1e-7) {
+		t.Fatalf("got %v obj=%v, want optimal 14", s.Status, s.Objective)
+	}
+}
+
+func TestCoefficientForms(t *testing.T) {
+	// Attached, separated, starred, bare, negative and decimal coefficients.
+	p := parse(t, `
+min: 2x + 3 y + 0.5*z - w
+x >= 1
+y >= 1
+z >= 2
+w <= 3
+`)
+	s := p.Problem.Solve()
+	// Optimum: x=1 y=1 z=2 w=3 → 2+3+1-3 = 3.
+	if s.Status != milp.Optimal || !near(s.Objective, 3, 1e-8) {
+		t.Fatalf("got %v obj=%v, want optimal 3", s.Status, s.Objective)
+	}
+}
+
+func TestEqualityAndAltRelations(t *testing.T) {
+	p := parse(t, `
+min: x + y
+x + y = 10
+x =< 4
+y => 2
+`)
+	s := p.Problem.Solve()
+	if s.Status != milp.Optimal || !near(s.Objective, 10, 1e-8) {
+		t.Fatalf("got %v obj=%v", s.Status, s.Objective)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{
+		"",                       // no objective
+		"min: x\nmin: y\n",       // duplicate objective
+		"min: x\nx >< 3\n",       // bad relation
+		"min: x\nx <= abc\n",     // bad rhs
+		"min: x\n3 <= 5\n",       // no variable
+		"min: x\nx y <= 5\n",     // missing operator
+		"min: x\nint 9bad\n",     // bad identifier
+		"min: x\nint\n x >= 1\n", // empty declaration
+		"min: 3.2.1 x\nx >= 1\n", // bad coefficient
+		"min: x\nc1: + <= 5\n",   // dangling sign
+	}
+	for _, src := range bad {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted bad source %q", src)
+		}
+	}
+}
+
+func TestNamedRowsAndComments(t *testing.T) {
+	p := parse(t, `
+min: x            # objective
+demand: x >= 7    # named row
+`)
+	s := p.Problem.Solve()
+	if !near(s.Objective, 7, 1e-9) {
+		t.Fatalf("obj = %v", s.Objective)
+	}
+}
+
+func TestInfeasibleModel(t *testing.T) {
+	p := parse(t, `
+min: x
+x >= 5
+x <= 3
+`)
+	if s := p.Problem.Solve(); s.Status != milp.Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}

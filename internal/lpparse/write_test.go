@@ -1,0 +1,144 @@
+package lpparse
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"billcap/internal/lp"
+	"billcap/internal/milp"
+)
+
+func TestWriteRoundTripKnapsack(t *testing.T) {
+	p := milp.NewProblem()
+	p.SetMaximize(true)
+	a := p.AddBinVar("a", 10)
+	b := p.AddBinVar("b", 13)
+	c := p.AddBinVar("c.with-dots", 7)
+	p.AddConstraint([]lp.Term{{Var: a, Coef: 5}, {Var: b, Coef: 6}, {Var: c, Coef: 4}}, lp.LE, 10)
+
+	var buf strings.Builder
+	if err := Write(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("parse of written model: %v\n%s", err, buf.String())
+	}
+	s1 := p.Solve()
+	s2 := parsed.Problem.Solve()
+	if s1.Status != s2.Status || math.Abs(s1.Objective-s2.Objective) > 1e-7 {
+		t.Fatalf("round trip: %v/%v vs %v/%v\n%s",
+			s1.Status, s1.Objective, s2.Status, s2.Objective, buf.String())
+	}
+}
+
+func TestWriteSanitizesAndDedupes(t *testing.T) {
+	p := milp.NewProblem()
+	x1 := p.AddVar("dc.x", 1)
+	x2 := p.AddVar("dc-x", 2) // sanitizes to the same ident
+	p.AddConstraint([]lp.Term{{Var: x1, Coef: 1}}, lp.GE, 3)
+	p.AddConstraint([]lp.Term{{Var: x2, Coef: 1}}, lp.GE, 4)
+	var buf strings.Builder
+	if err := Write(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if parsed.Problem.NumVars() != 2 {
+		t.Fatalf("dedup failed: %d vars\n%s", parsed.Problem.NumVars(), buf.String())
+	}
+	s := parsed.Problem.Solve()
+	if math.Abs(s.Objective-11) > 1e-9 { // 1·3 + 2·4
+		t.Fatalf("objective %v, want 11\n%s", s.Objective, buf.String())
+	}
+}
+
+func TestWriteRejectsEmptyProblem(t *testing.T) {
+	if err := Write(&strings.Builder{}, milp.NewProblem()); err == nil {
+		t.Error("empty problem accepted")
+	}
+}
+
+func TestWriteSkipsTrivialConstantRows(t *testing.T) {
+	p := milp.NewProblem()
+	p.AddVar("x", 1)
+	p.AddConstraint(nil, lp.LE, 5) // 0 ≤ 5: trivially true, droppable
+	var buf strings.Builder
+	if err := Write(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	// An unsatisfiable constant row cannot be represented.
+	p2 := milp.NewProblem()
+	p2.AddVar("x", 1)
+	p2.AddConstraint(nil, lp.GE, 5)
+	if err := Write(&strings.Builder{}, p2); err == nil {
+		t.Error("unsatisfiable constant row accepted")
+	}
+}
+
+// TestWriteParseRoundTripProperty: random MILPs survive a write/parse cycle
+// with identical status and objective.
+func TestWriteParseRoundTripProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := milp.NewProblem()
+		p.SetMaximize(r.Intn(2) == 0)
+		nb := 1 + r.Intn(4)
+		nc := r.Intn(3)
+		for i := 0; i < nb; i++ {
+			p.AddBinVar("b", math.Floor(r.Float64()*20))
+		}
+		for i := 0; i < nc; i++ {
+			v := p.AddVar("c.v", r.Float64()*4-2)
+			p.AddConstraint([]lp.Term{{Var: v, Coef: 1}}, lp.LE, 1+4*r.Float64())
+		}
+		rows := 1 + r.Intn(3)
+		for k := 0; k < rows; k++ {
+			terms := make([]lp.Term, 0, nb+nc)
+			for j := 0; j < nb+nc; j++ {
+				terms = append(terms, lp.Term{Var: j, Coef: math.Floor(r.Float64()*7) - 2})
+			}
+			rel := []lp.Rel{lp.LE, lp.GE}[r.Intn(2)]
+			rhs := math.Floor(r.Float64()*20) - 5
+			if rel == lp.GE {
+				rhs = -math.Abs(rhs) // keep the zero point feasible often
+			}
+			p.AddConstraint(terms, rel, rhs)
+		}
+		var buf strings.Builder
+		if err := Write(&buf, p); err != nil {
+			// The only legitimate refusal is an unsatisfiable constant row
+			// (all-zero coefficients), which makes the problem infeasible.
+			if p.Solve().Status == milp.Infeasible {
+				return true
+			}
+			t.Logf("seed %d: write: %v", seed, err)
+			return false
+		}
+		parsed, err := Parse(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Logf("seed %d: parse: %v\n%s", seed, err, buf.String())
+			return false
+		}
+		s1 := p.Solve()
+		s2 := parsed.Problem.Solve()
+		if s1.Status != s2.Status {
+			t.Logf("seed %d: status %v vs %v\n%s", seed, s1.Status, s2.Status, buf.String())
+			return false
+		}
+		if s1.Status == milp.Optimal &&
+			math.Abs(s1.Objective-s2.Objective) > 1e-6*(1+math.Abs(s1.Objective)) {
+			t.Logf("seed %d: obj %v vs %v\n%s", seed, s1.Objective, s2.Objective, buf.String())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

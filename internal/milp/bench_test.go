@@ -1,0 +1,20 @@
+package milp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkBranchAndBound measures a complete solve of a 14-binary random
+// problem — roughly the binary count of a 3-site, 5-price-level hour.
+func BenchmarkBranchAndBound(b *testing.B) {
+	r := rand.New(rand.NewSource(9))
+	p, _ := randomBinaryProblem(r, 14, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := p.Solve(); s.Status != Optimal && s.Status != Infeasible {
+			b.Fatal(s.Status)
+		}
+	}
+}

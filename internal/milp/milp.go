@@ -1,0 +1,317 @@
+// Package milp solves small mixed integer linear programs by LP-based branch
+// and bound on top of the internal simplex solver.
+//
+// It is the replacement for the lp_solve library the paper uses: the paper's
+// electricity-cost problems have one binary per price level per data center
+// (≈ 5·N binaries for N sites), which is comfortably within reach of a plain
+// best-first branch-and-bound with dense LP relaxations.
+package milp
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"billcap/internal/lp"
+)
+
+// Problem is a linear program plus integrality markers.
+type Problem struct {
+	*lp.Problem
+	integer []bool
+}
+
+// NewProblem returns an empty minimization MILP.
+func NewProblem() *Problem {
+	return &Problem{Problem: lp.NewProblem()}
+}
+
+// AddVar adds a continuous nonnegative variable.
+func (p *Problem) AddVar(name string, objCoef float64) int {
+	v := p.Problem.AddVar(name, objCoef)
+	p.integer = append(p.integer, false)
+	return v
+}
+
+// AddIntVar adds a nonnegative integer variable.
+func (p *Problem) AddIntVar(name string, objCoef float64) int {
+	v := p.Problem.AddVar(name, objCoef)
+	p.integer = append(p.integer, true)
+	return v
+}
+
+// AddBinVar adds a {0,1} variable (integer with an upper bound row of 1).
+func (p *Problem) AddBinVar(name string, objCoef float64) int {
+	v := p.AddIntVar(name, objCoef)
+	p.AddConstraint([]lp.Term{{Var: v, Coef: 1}}, lp.LE, 1)
+	return v
+}
+
+// SetInteger marks or unmarks integrality of an existing variable.
+func (p *Problem) SetInteger(v int, isInt bool) { p.integer[v] = isInt }
+
+// IsInteger reports whether variable v is integral.
+func (p *Problem) IsInteger(v int) bool { return p.integer[v] }
+
+// NumIntegerVars counts integral variables.
+func (p *Problem) NumIntegerVars() int {
+	c := 0
+	for _, b := range p.integer {
+		if b {
+			c++
+		}
+	}
+	return c
+}
+
+// Status is the outcome of a MILP solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal    Status = iota // proven optimal integer solution
+	Infeasible               // no integer-feasible point exists
+	Unbounded                // the LP relaxation is unbounded
+	Limit                    // stopped at the node limit; Solution may hold an incumbent
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case Limit:
+		return "node-limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Solution is the result of a branch-and-bound run.
+type Solution struct {
+	Status    Status
+	X         []float64 // incumbent (integral entries exactly rounded)
+	Objective float64   // objective of X in the problem's own direction
+	Nodes     int       // branch-and-bound nodes explored
+	Pivots    int       // total simplex pivots across all LP relaxations
+	Gap       float64   // |bound − incumbent| remaining at stop (0 when Optimal)
+}
+
+// Options tune the search. The zero value uses defaults suitable for the
+// paper's problem sizes.
+type Options struct {
+	MaxNodes int // 0 → 200000
+	// IntTol is the integrality tolerance. 0 → 1e-4: it must sit above the
+	// LP solver's accumulated pivot noise (relative to row magnitudes up to
+	// ~1e3 in this repository), or branching on a phantom fraction like
+	// 1.000002 adds the already-present bound x ≤ 1 and makes no progress.
+	IntTol float64
+	Gap    float64 // absolute optimality gap at which to stop, 0 → 1e-7
+}
+
+type node struct {
+	bound  float64     // LP relaxation objective (minimization sense)
+	bounds []branch    // branching bounds accumulated from the root
+	sol    lp.Solution // the already-solved relaxation at this node
+}
+
+type branch struct {
+	v     int
+	rel   lp.Rel // LE (x ≤ val) or GE (x ≥ val)
+	value float64
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].bound < h[j].bound }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Solve runs best-first branch and bound.
+func (p *Problem) Solve() Solution { return p.SolveWithOptions(Options{}) }
+
+// SolveWithOptions is Solve with explicit options.
+func (p *Problem) SolveWithOptions(opt Options) Solution {
+	if opt.MaxNodes == 0 {
+		opt.MaxNodes = 200000
+	}
+	if opt.IntTol == 0 {
+		opt.IntTol = 1e-4
+	}
+	if opt.Gap == 0 {
+		opt.Gap = 1e-7
+	}
+
+	sign := 1.0
+	if p.Maximizing() {
+		sign = -1 // internal bounds are kept in minimization sense
+	}
+
+	var (
+		incumbent    []float64
+		incumbentObj = math.Inf(1) // minimization sense
+		nodes, piv   int
+		h            nodeHeap
+	)
+
+	// Solve the root once and keep its optimal basis; every node's
+	// relaxation (root + branch bound rows) is then re-solved by the
+	// warm-started dual simplex — the same strategy lp_solve's
+	// branch-and-bound uses.
+	warm, root := p.Problem.SolveForWarmStart(lp.Options{})
+	relax := func(bs []branch) lp.Solution {
+		rows := make([]lp.ExtraRow, len(bs))
+		for i, b := range bs {
+			rows[i] = lp.ExtraRow{
+				Terms: []lp.Term{{Var: b.v, Coef: 1}},
+				Rel:   b.rel,
+				RHS:   b.value,
+			}
+		}
+		return warm.ReSolve(rows)
+	}
+	piv += root.Pivots
+	nodes++
+	switch root.Status {
+	case lp.Unbounded:
+		return Solution{Status: Unbounded, Nodes: nodes, Pivots: piv}
+	case lp.Infeasible:
+		return Solution{Status: Infeasible, Nodes: nodes, Pivots: piv}
+	case lp.IterLimit:
+		return Solution{Status: Limit, Nodes: nodes, Pivots: piv}
+	}
+
+	process := func(bs []branch, sol lp.Solution) {
+		bound := sign * sol.Objective
+		if bound >= incumbentObj-opt.Gap {
+			return // dominated
+		}
+		fv := p.mostFractional(sol.X, opt.IntTol)
+		if fv < 0 {
+			// Integer feasible: new incumbent.
+			incumbentObj = bound
+			incumbent = roundIntegral(sol.X, p.integer)
+			return
+		}
+		heap.Push(&h, &node{bound: bound, bounds: bs, sol: sol})
+	}
+	process(nil, root)
+
+	for h.Len() > 0 {
+		if nodes >= opt.MaxNodes {
+			return p.finish(Limit, incumbent, incumbentObj, sign, nodes, piv, h)
+		}
+		it := heap.Pop(&h).(*node)
+		if it.bound >= incumbentObj-opt.Gap {
+			continue // pruned by a newer incumbent
+		}
+		// The node's relaxation was solved when it was pushed; branch on it
+		// directly.
+		sol := it.sol
+		fv := p.mostFractional(sol.X, opt.IntTol)
+		if fv < 0 {
+			// Cannot happen (integer nodes become incumbents, not heap
+			// entries), but guard against tolerance drift.
+			if b := sign * sol.Objective; b < incumbentObj {
+				incumbentObj = b
+				incumbent = roundIntegral(sol.X, p.integer)
+			}
+			continue
+		}
+		v := sol.X[fv]
+		downB := branch{fv, lp.LE, math.Floor(v)}
+		upB := branch{fv, lp.GE, math.Ceil(v)}
+		for _, nb := range []branch{downB, upB} {
+			if hasBranch(it.bounds, nb) {
+				// The exact same bound row is already active, so re-adding it
+				// cannot change the relaxation: numerical noise produced a
+				// phantom fraction. Skip the child to guarantee progress.
+				continue
+			}
+			child := append(append([]branch(nil), it.bounds...), nb)
+			s := relax(child)
+			piv += s.Pivots
+			nodes++
+			if s.Status == lp.Optimal {
+				process(child, s)
+			}
+		}
+	}
+	if incumbent == nil {
+		return Solution{Status: Infeasible, Nodes: nodes, Pivots: piv}
+	}
+	return Solution{
+		Status:    Optimal,
+		X:         incumbent,
+		Objective: sign * incumbentObj,
+		Nodes:     nodes,
+		Pivots:    piv,
+	}
+}
+
+func (p *Problem) finish(st Status, inc []float64, incObj, sign float64, nodes, piv int, h nodeHeap) Solution {
+	s := Solution{Status: st, Nodes: nodes, Pivots: piv}
+	if inc != nil {
+		s.X = inc
+		s.Objective = sign * incObj
+		best := incObj
+		for _, n := range h {
+			if n.bound < best {
+				best = n.bound
+			}
+		}
+		s.Gap = incObj - best
+	} else {
+		s.Gap = math.Inf(1)
+	}
+	return s
+}
+
+// hasBranch reports whether the exact bound is already in the list.
+func hasBranch(bs []branch, b branch) bool {
+	for _, x := range bs {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// mostFractional returns the integral variable whose relaxation value is
+// farthest from an integer, or -1 if all integral variables are integral
+// within tol.
+func (p *Problem) mostFractional(x []float64, tol float64) int {
+	best, bestFrac := -1, tol
+	for v, isInt := range p.integer {
+		if !isInt || v >= len(x) {
+			continue
+		}
+		f := math.Abs(x[v] - math.Round(x[v]))
+		if f > bestFrac {
+			bestFrac = f
+			best = v
+		}
+	}
+	return best
+}
+
+func roundIntegral(x []float64, integer []bool) []float64 {
+	out := append([]float64(nil), x...)
+	for v, isInt := range integer {
+		if isInt && v < len(out) {
+			out[v] = math.Round(out[v])
+		}
+	}
+	return out
+}

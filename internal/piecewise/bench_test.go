@@ -1,0 +1,20 @@
+package piecewise
+
+import (
+	"testing"
+
+	"billcap/internal/milp"
+)
+
+// BenchmarkEncode measures building the segment-selection MILP structure
+// for one five-level policy — done once per site per invocation period.
+func BenchmarkEncode(b *testing.B) {
+	f := paperDC1()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := milp.NewProblem()
+		if _, err := Encode(m, f, 180, 500, 0.2, "dc"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package piecewise
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"billcap/internal/lp"
+	"billcap/internal/milp"
+)
+
+func near(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func paperDC1() StepFunction {
+	// Data Center 1, Pricing Policy 1 (paper §VII-B): prices
+	// 10.00, 13.90, 15.00, 22.00, 24.00 $/MWh with the second step at 200 MW.
+	return MustNew([]float64{200, 300, 450, 600}, []float64{10.00, 13.90, 15.00, 22.00, 24.00})
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("rate/threshold count mismatch not rejected")
+	}
+	if _, err := New([]float64{2, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("unsorted thresholds not rejected")
+	}
+	if _, err := New([]float64{0, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("zero threshold not rejected")
+	}
+	if _, err := New([]float64{1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("duplicate thresholds not rejected")
+	}
+	if _, err := New([]float64{1, 2}, []float64{1, 2, 3}); err != nil {
+		t.Errorf("valid function rejected: %v", err)
+	}
+}
+
+func TestEvalSegments(t *testing.T) {
+	f := paperDC1()
+	cases := []struct {
+		load, want float64
+	}{
+		{0, 10}, {199.999, 10}, {200, 13.9}, {250, 13.9},
+		{300, 15}, {449, 15}, {450, 22}, {599, 22}, {600, 24}, {5000, 24},
+	}
+	for _, c := range cases {
+		if got := f.Eval(c.load); !near(got, c.want, 1e-12) {
+			t.Errorf("Eval(%v) = %v, want %v", c.load, got, c.want)
+		}
+	}
+	if f.NumSegments() != 5 {
+		t.Errorf("NumSegments = %d, want 5", f.NumSegments())
+	}
+}
+
+func TestFlat(t *testing.T) {
+	f := Flat(16.98)
+	for _, load := range []float64{0, 1, 1e6} {
+		if got := f.Eval(load); !near(got, 16.98, 1e-12) {
+			t.Errorf("Flat.Eval(%v) = %v", load, got)
+		}
+	}
+	if f.NumSegments() != 1 {
+		t.Errorf("Flat NumSegments = %d", f.NumSegments())
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	f := paperDC1()
+	// Paper: Min-Only (Avg) price for DC1 is 16.98 = (10+13.9+15+22+24)/5.
+	if got := f.Mean(); !near(got, 16.98, 1e-10) {
+		t.Errorf("Mean = %v, want 16.98", got)
+	}
+	if got := f.Min(); !near(got, 10, 1e-12) {
+		t.Errorf("Min = %v, want 10", got)
+	}
+	if got := f.Max(); !near(got, 24, 1e-12) {
+		t.Errorf("Max = %v, want 24", got)
+	}
+}
+
+func TestScalePolicy2And3(t *testing.T) {
+	f := paperDC1()
+	p2 := f.Scale(2, 200)
+	p3 := f.Scale(3, 200)
+	want2 := []float64{10.00, 17.80, 20.00, 34.00, 38.00}
+	want3 := []float64{10.00, 21.70, 25.00, 46.00, 52.00}
+	for k, w := range want2 {
+		if got := p2.Rates()[k]; !near(got, w, 1e-10) {
+			t.Errorf("Policy2 rate[%d] = %v, want %v", k, got, w)
+		}
+	}
+	for k, w := range want3 {
+		if got := p3.Rates()[k]; !near(got, w, 1e-10) {
+			t.Errorf("Policy3 rate[%d] = %v, want %v", k, got, w)
+		}
+	}
+}
+
+func TestSegmentBounds(t *testing.T) {
+	f := paperDC1()
+	lo, hi := f.SegmentBounds(0)
+	if lo != 0 || hi != 200 {
+		t.Errorf("segment 0 = [%v,%v), want [0,200)", lo, hi)
+	}
+	lo, hi = f.SegmentBounds(4)
+	if lo != 600 || !math.IsInf(hi, 1) {
+		t.Errorf("segment 4 = [%v,%v), want [600,inf)", lo, hi)
+	}
+}
+
+// encodeAndMinimize builds min Σ rate_j p_j subject to p = pFix via the
+// encoding and returns the optimal cost, which must equal f(pFix+d)·pFix
+// whenever pFix keeps the load strictly inside a segment.
+func encodeAndMinimize(t *testing.T, f StepFunction, d, pMax, pFix float64) (float64, bool) {
+	t.Helper()
+	m := milp.NewProblem()
+	e, err := Encode(m, f, d, pMax, 0, "dc")
+	if err != nil {
+		return 0, false
+	}
+	for j, v := range e.SegPower {
+		m.SetObjectiveCoef(v, e.SegRate[j])
+	}
+	m.AddConstraint([]lp.Term{{Var: e.Power, Coef: 1}}, lp.EQ, pFix)
+	if pFix > 0 {
+		m.AddConstraint(e.SelectorTerms(), lp.EQ, 1)
+	}
+	s := m.Solve()
+	if s.Status != milp.Optimal {
+		return 0, false
+	}
+	return s.Objective, true
+}
+
+func TestEncodeMatchesEval(t *testing.T) {
+	f := paperDC1()
+	d := 180.0
+	pMax := 500.0
+	for _, p := range []float64{0, 5, 19, 50, 119, 150, 269, 300, 419, 450} {
+		got, ok := encodeAndMinimize(t, f, d, pMax, p)
+		if !ok {
+			t.Fatalf("p=%v: no optimal solution", p)
+		}
+		want := f.Eval(d+p) * p
+		if !near(got, want, 1e-4*(1+want)) {
+			t.Errorf("p=%v: encoded cost %v, want %v (rate %v)", p, got, want, f.Eval(d+p))
+		}
+	}
+}
+
+func TestEncodeUnreachableHighSegment(t *testing.T) {
+	// With pMax = 10 and d = 0 only the first segment is reachable.
+	f := paperDC1()
+	m := milp.NewProblem()
+	e, err := Encode(m, f, 0, 10, 0, "dc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.SegPower) != 1 || e.Segments[0] != 0 {
+		t.Fatalf("reachable segments = %v, want just segment 0", e.Segments)
+	}
+}
+
+func TestEncodeSkipsSegmentsBelowDemand(t *testing.T) {
+	// d = 460 sits in segment 3; segments 0-2 are unreachable.
+	f := paperDC1()
+	m := milp.NewProblem()
+	e, err := Encode(m, f, 460, 1000, 0, "dc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Segments) != 2 || e.Segments[0] != 3 || e.Segments[1] != 4 {
+		t.Fatalf("reachable segments = %v, want [3 4]", e.Segments)
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	f := paperDC1()
+	m := milp.NewProblem()
+	if _, err := Encode(m, f, -1, 10, 0, "dc"); err == nil {
+		t.Error("negative demand not rejected")
+	}
+	if _, err := Encode(m, f, 0, 0, 0, "dc"); err == nil {
+		t.Error("zero pMax not rejected")
+	}
+}
+
+func TestEncodePropertyRandom(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 80}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Random increasing step function with 2-6 segments.
+		nseg := 2 + r.Intn(5)
+		thr := make([]float64, nseg-1)
+		cur := 50 + 100*r.Float64()
+		for i := range thr {
+			thr[i] = cur
+			cur += 50 + 150*r.Float64()
+		}
+		rates := make([]float64, nseg)
+		rate := 5 + 10*r.Float64()
+		for i := range rates {
+			rates[i] = rate
+			rate += 10 * r.Float64()
+		}
+		f := MustNew(thr, rates)
+		d := 400 * r.Float64()
+		pMax := 50 + 400*r.Float64()
+		// Pick p strictly inside a segment: draw and nudge off breakpoints.
+		p := pMax * r.Float64()
+		for _, tt := range thr {
+			if math.Abs(d+p-tt) < 1e-3 {
+				p = math.Max(0, p-1e-2)
+			}
+		}
+		got, ok := encodeAndMinimize(t, f, d, pMax, p)
+		if !ok {
+			t.Logf("seed %d: solve failed (d=%v pMax=%v p=%v)", seed, d, pMax, p)
+			return false
+		}
+		want := f.Eval(d+p) * p
+		if !near(got, want, 1e-4*(1+math.Abs(want))) {
+			t.Logf("seed %d: got %v want %v", seed, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+// Package powercap implements a per-site feedback power-capping controller
+// in the spirit of the cluster-level controllers the paper builds on
+// (refs [10] Raghavendra et al., [11] Wang et al., [12] Fan et al.): before
+// a network of data centers can cap its *bill*, each site must keep its
+// *draw* under the supplier's cap to avoid penalties (paper §I).
+//
+// The controller is a discrete-time PI loop around an admission ratio: each
+// control period it observes the site's realized power, compares it with
+// the cap (minus a guard band), and trims or restores the fraction of the
+// dispatched load the site actually accepts. The bill capper plans with a
+// margin below the cap; this controller is the safety net for model error,
+// flash crowds between invocations, and cooling-efficiency drift.
+package powercap
+
+import (
+	"fmt"
+	"math"
+)
+
+// Controller is a discrete-time PI admission controller. Create with New;
+// the zero value is not ready.
+type Controller struct {
+	// CapMW is the hard limit the controller defends.
+	CapMW float64
+	// GuardFrac shrinks the setpoint below the cap (0.02 → aim at 98%).
+	GuardFrac float64
+	// Kp and Ki are the PI gains on the relative power error.
+	Kp, Ki float64
+
+	ratio    float64
+	integral float64
+}
+
+// New returns a controller defending capMW with conservative default
+// tuning: setpoint 2% under the cap, proportional-dominant gains that
+// converge in a few periods without oscillation for plants whose power is
+// roughly linear in admitted load.
+func New(capMW float64) (*Controller, error) {
+	if capMW <= 0 || math.IsNaN(capMW) {
+		return nil, fmt.Errorf("powercap: cap %v MW", capMW)
+	}
+	return &Controller{
+		CapMW:     capMW,
+		GuardFrac: 0.02,
+		Kp:        0.8,
+		Ki:        0.2,
+		ratio:     1,
+	}, nil
+}
+
+// Ratio returns the current admission ratio in [0, 1]: the fraction of the
+// dispatched load the site should accept this period.
+func (c *Controller) Ratio() float64 { return c.ratio }
+
+// Setpoint returns the power level the controller regulates to.
+func (c *Controller) Setpoint() float64 { return c.CapMW * (1 - c.GuardFrac) }
+
+// Observe feeds one period's realized power draw and updates the admission
+// ratio. The error is normalized by the cap so gains are unit-free. The
+// integral term is clamped (anti-windup) so long overload bursts do not
+// poison recovery.
+func (c *Controller) Observe(powerMW float64) {
+	if powerMW < 0 || math.IsNaN(powerMW) {
+		return // sensor glitch: hold the current ratio
+	}
+	err := (c.Setpoint() - powerMW) / c.CapMW // positive = headroom
+	c.integral += err
+	const windup = 1.0
+	if c.integral > windup {
+		c.integral = windup
+	}
+	if c.integral < -windup {
+		c.integral = -windup
+	}
+	c.ratio += c.Kp*err + c.Ki*c.integral*0.1
+	if c.ratio > 1 {
+		c.ratio = 1
+		if c.integral > 0 {
+			c.integral = 0 // no windup while saturated at full admission
+		}
+	}
+	if c.ratio < 0 {
+		c.ratio = 0
+	}
+}
+
+// Reset restores full admission and clears the integrator (e.g. after a
+// site reconfiguration).
+func (c *Controller) Reset() {
+	c.ratio = 1
+	c.integral = 0
+}

@@ -1,0 +1,149 @@
+package powercap
+
+import (
+	"math"
+	"testing"
+
+	"billcap/internal/dcmodel"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("zero cap accepted")
+	}
+	if _, err := New(math.NaN()); err == nil {
+		t.Error("NaN cap accepted")
+	}
+	c, err := New(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Ratio() != 1 {
+		t.Errorf("initial ratio %v", c.Ratio())
+	}
+	if got := c.Setpoint(); math.Abs(got-49) > 1e-12 {
+		t.Errorf("setpoint %v, want 49", got)
+	}
+}
+
+func TestObserveSheddingAndRecovery(t *testing.T) {
+	c, _ := New(50)
+	// Sustained overload: the ratio must fall.
+	for i := 0; i < 5; i++ {
+		c.Observe(60)
+	}
+	if c.Ratio() >= 0.9 {
+		t.Errorf("ratio %v did not shed under 20%% overload", c.Ratio())
+	}
+	low := c.Ratio()
+	// Load vanishes: the ratio must recover to 1.
+	for i := 0; i < 50; i++ {
+		c.Observe(10)
+	}
+	if c.Ratio() != 1 {
+		t.Errorf("ratio %v did not recover (was %v)", c.Ratio(), low)
+	}
+}
+
+func TestObserveIgnoresGlitches(t *testing.T) {
+	c, _ := New(50)
+	c.Observe(60)
+	r := c.Ratio()
+	c.Observe(math.NaN())
+	c.Observe(-5)
+	if c.Ratio() != r {
+		t.Errorf("ratio moved on bad sensor readings")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c, _ := New(50)
+	for i := 0; i < 10; i++ {
+		c.Observe(80)
+	}
+	c.Reset()
+	if c.Ratio() != 1 {
+		t.Errorf("reset ratio %v", c.Ratio())
+	}
+}
+
+// TestClosedLoopAgainstSiteModel runs the controller against the real site
+// power model: a flash crowd offers more load than the cap admits, and the
+// loop must converge to ≈ the setpoint without sustained violation.
+func TestClosedLoopAgainstSiteModel(t *testing.T) {
+	site := dcmodel.PaperSites()[0] // DC1-B: 105 MW cap, ≈110 MW at full fleet
+	maxLam, err := site.Queue.MaxThroughput(site.MaxServers, site.RespSLAHours)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offered load that would draw above the cap if fully admitted.
+	offered := maxLam
+	if p, err := site.TotalPowerMW(offered); err != nil || p <= site.PowerCapMW {
+		t.Fatalf("test premise broken: power %v err %v", p, err)
+	}
+
+	c, err := New(site.PowerCapMW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	violations := 0
+	var finalPower float64
+	const periods = 60
+	for k := 0; k < periods; k++ {
+		admitted := offered * c.Ratio()
+		p, err := site.TotalPowerMW(admitted)
+		if err != nil {
+			t.Fatalf("period %d: %v", k, err)
+		}
+		if k >= 10 && p > site.PowerCapMW {
+			violations++
+		}
+		finalPower = p
+		c.Observe(p)
+	}
+	if violations > 0 {
+		t.Errorf("%d cap violations after settling", violations)
+	}
+	// Converged near the setpoint (not far below — we want throughput too).
+	if finalPower < 0.9*c.Setpoint() || finalPower > site.PowerCapMW {
+		t.Errorf("settled at %v MW, want within [%v, %v]", finalPower, 0.9*c.Setpoint(), site.PowerCapMW)
+	}
+}
+
+// TestClosedLoopTracksChangingLoad sweeps the offered load up and down and
+// checks the controller follows without instability.
+func TestClosedLoopTracksChangingLoad(t *testing.T) {
+	site := dcmodel.PaperSites()[0] // DC1-B, cap 105 MW
+	maxLam, err := site.Queue.MaxThroughput(site.MaxServers, site.RespSLAHours)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(site.PowerCapMW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := []float64{0.4, 0.99, 0.6, 0.99, 0.2}
+	for _, frac := range phases {
+		offered := frac * maxLam
+		for k := 0; k < 30; k++ {
+			admitted := offered * c.Ratio()
+			p, err := site.TotalPowerMW(admitted)
+			if err != nil {
+				t.Fatalf("frac %v period %d: %v", frac, k, err)
+			}
+			c.Observe(p)
+		}
+		// After settling: low offered load → full admission; overload →
+		// power at or under the cap.
+		admitted := offered * c.Ratio()
+		p, _ := site.TotalPowerMW(admitted)
+		if p > site.PowerCapMW+1e-9 {
+			t.Errorf("frac %v: settled power %v above cap", frac, p)
+		}
+		if pOffered, err := site.TotalPowerMW(offered); err == nil && pOffered < c.Setpoint() {
+			if c.Ratio() < 1 {
+				t.Errorf("frac %v: ratio %v below 1 despite ample headroom", frac, c.Ratio())
+			}
+		}
+	}
+}

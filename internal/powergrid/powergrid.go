@@ -1,0 +1,333 @@
+// Package powergrid implements a lossless DC optimal power flow (DC-OPF)
+// over a small transmission network and derives locational marginal prices
+// (LMP) from it — the mechanism behind the paper's Figure 1.
+//
+// The paper quotes its pricing policies from "the well-known PJM five-bus
+// system" (refs [6], [13]): five generators, three consumer buses, and LMP
+// step changes "when a new constraint, either transmission or generation,
+// becomes binding as load increases". This package reproduces that
+// derivation end to end: the OPF is a linear program solved with the
+// repository's own simplex solver, each bus's LMP is the dual value of its
+// power-balance row, and sweeping the system load turns the LMP profile of
+// a consumer bus into exactly the kind of step function internal/pricing
+// hard-codes.
+package powergrid
+
+import (
+	"fmt"
+	"math"
+
+	"billcap/internal/lp"
+	"billcap/internal/piecewise"
+)
+
+// Generator is one dispatchable unit.
+type Generator struct {
+	Name          string
+	Bus           int
+	CapacityMW    float64
+	CostUSDPerMWh float64
+}
+
+// Line is a transmission line with a DC susceptance derived from its
+// per-unit reactance on a 100 MVA base.
+type Line struct {
+	From, To  int
+	Reactance float64 // per unit; flow(MW) = 100·Δθ/Reactance
+	LimitMW   float64 // thermal limit, applies in both directions
+}
+
+// System is the grid model.
+type System struct {
+	BusNames []string
+	Gens     []Generator
+	Lines    []Line
+	// RefBus is the angle reference (slack) bus.
+	RefBus int
+}
+
+// Validate reports the first configuration error.
+func (s *System) Validate() error {
+	n := len(s.BusNames)
+	if n < 2 {
+		return fmt.Errorf("powergrid: %d buses", n)
+	}
+	if s.RefBus < 0 || s.RefBus >= n {
+		return fmt.Errorf("powergrid: reference bus %d out of range", s.RefBus)
+	}
+	if len(s.Gens) == 0 {
+		return fmt.Errorf("powergrid: no generators")
+	}
+	for _, g := range s.Gens {
+		if g.Bus < 0 || g.Bus >= n {
+			return fmt.Errorf("powergrid: generator %s on unknown bus %d", g.Name, g.Bus)
+		}
+		if g.CapacityMW <= 0 || g.CostUSDPerMWh < 0 {
+			return fmt.Errorf("powergrid: generator %s capacity %v cost %v", g.Name, g.CapacityMW, g.CostUSDPerMWh)
+		}
+	}
+	if len(s.Lines) == 0 {
+		return fmt.Errorf("powergrid: no lines")
+	}
+	for i, l := range s.Lines {
+		if l.From < 0 || l.From >= n || l.To < 0 || l.To >= n || l.From == l.To {
+			return fmt.Errorf("powergrid: line %d endpoints %d-%d", i, l.From, l.To)
+		}
+		if l.Reactance <= 0 || l.LimitMW <= 0 {
+			return fmt.Errorf("powergrid: line %d reactance %v limit %v", i, l.Reactance, l.LimitMW)
+		}
+	}
+	return nil
+}
+
+// Dispatch is one OPF solution.
+type Dispatch struct {
+	// GenMW is each generator's output.
+	GenMW []float64
+	// FlowMW is each line's flow (positive From→To).
+	FlowMW []float64
+	// LMP is the locational marginal price at every bus in $/MWh: the dual
+	// of the bus's power-balance row.
+	LMP []float64
+	// CostUSD is the total generation cost per hour.
+	CostUSD float64
+}
+
+// Solve runs the DC-OPF for the given per-bus load vector (MW).
+func (s *System) Solve(loadMW []float64) (Dispatch, error) {
+	if err := s.Validate(); err != nil {
+		return Dispatch{}, err
+	}
+	n := len(s.BusNames)
+	if len(loadMW) != n {
+		return Dispatch{}, fmt.Errorf("powergrid: %d loads for %d buses", len(loadMW), n)
+	}
+	for b, L := range loadMW {
+		if L < 0 || math.IsNaN(L) {
+			return Dispatch{}, fmt.Errorf("powergrid: bad load %v at bus %d", L, b)
+		}
+	}
+
+	p := lp.NewProblem()
+	// Generator outputs.
+	genVar := make([]int, len(s.Gens))
+	for k, g := range s.Gens {
+		genVar[k] = p.AddVar("g:"+g.Name, g.CostUSDPerMWh)
+		p.AddConstraint([]lp.Term{{Var: genVar[k], Coef: 1}}, lp.LE, g.CapacityMW)
+	}
+	// Bus angles as θ⁺−θ⁻ (free variables); the reference bus is pinned at 0
+	// by having no variables.
+	thPos := make([]int, n)
+	thNeg := make([]int, n)
+	for b := 0; b < n; b++ {
+		if b == s.RefBus {
+			thPos[b], thNeg[b] = -1, -1
+			continue
+		}
+		thPos[b] = p.AddVar(fmt.Sprintf("th+%d", b), 0)
+		thNeg[b] = p.AddVar(fmt.Sprintf("th-%d", b), 0)
+	}
+	// angleTerms appends c·θ_b to a term list (no-op for the reference bus).
+	angleTerms := func(terms []lp.Term, b int, c float64) []lp.Term {
+		if b == s.RefBus {
+			return terms
+		}
+		return append(terms, lp.Term{Var: thPos[b], Coef: c}, lp.Term{Var: thNeg[b], Coef: -c})
+	}
+
+	// Line limits: |B·(θf−θt)| ≤ limit.
+	for _, l := range s.Lines {
+		b := 100 / l.Reactance
+		var fwd []lp.Term
+		fwd = angleTerms(fwd, l.From, b)
+		fwd = angleTerms(fwd, l.To, -b)
+		if len(fwd) > 0 { // a line between two reference buses cannot exist
+			p.AddConstraint(fwd, lp.LE, l.LimitMW)
+			rev := make([]lp.Term, len(fwd))
+			for i, t := range fwd {
+				rev[i] = lp.Term{Var: t.Var, Coef: -t.Coef}
+			}
+			p.AddConstraint(rev, lp.LE, l.LimitMW)
+		}
+	}
+
+	// Bus balance: Σ gen_b − Σ outflow + Σ inflow = load_b.
+	balanceRow := make([]int, n)
+	for b := 0; b < n; b++ {
+		var terms []lp.Term
+		for k, g := range s.Gens {
+			if g.Bus == b {
+				terms = append(terms, lp.Term{Var: genVar[k], Coef: 1})
+			}
+		}
+		for _, l := range s.Lines {
+			susceptance := 100 / l.Reactance
+			switch b {
+			case l.From: // outflow B(θb − θto)
+				terms = angleTerms(terms, l.From, -susceptance)
+				terms = angleTerms(terms, l.To, susceptance)
+			case l.To: // inflow B(θfrom − θb)
+				terms = angleTerms(terms, l.From, susceptance)
+				terms = angleTerms(terms, l.To, -susceptance)
+			}
+		}
+		if len(terms) == 0 {
+			return Dispatch{}, fmt.Errorf("powergrid: bus %d is isolated", b)
+		}
+		balanceRow[b] = p.AddConstraint(terms, lp.EQ, loadMW[b])
+	}
+
+	sol := p.Solve()
+	switch sol.Status {
+	case lp.Optimal:
+	case lp.Infeasible:
+		return Dispatch{}, fmt.Errorf("powergrid: load %v MW not servable (generation or transmission binding)", sum(loadMW))
+	default:
+		return Dispatch{}, fmt.Errorf("powergrid: OPF ended %v", sol.Status)
+	}
+
+	d := Dispatch{
+		GenMW:   make([]float64, len(s.Gens)),
+		FlowMW:  make([]float64, len(s.Lines)),
+		LMP:     make([]float64, n),
+		CostUSD: sol.Objective,
+	}
+	for k := range s.Gens {
+		d.GenMW[k] = sol.X[genVar[k]]
+	}
+	angle := func(b int) float64 {
+		if b == s.RefBus {
+			return 0
+		}
+		return sol.X[thPos[b]] - sol.X[thNeg[b]]
+	}
+	for i, l := range s.Lines {
+		d.FlowMW[i] = 100 / l.Reactance * (angle(l.From) - angle(l.To))
+	}
+	for b := 0; b < n; b++ {
+		d.LMP[b] = sol.Duals[balanceRow[b]]
+	}
+	return d, nil
+}
+
+func sum(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// PJM5Bus returns the five-bus example system of the paper's §II: buses
+// A–E, generators at Alta, Park City (A), Solitude (C), Sundance (D) and
+// Brighton (E), consumers at B, C and D, and a binding E–D line. Exact
+// parameters follow the published PJM five-bus study up to rounding.
+func PJM5Bus() *System {
+	const (
+		A = 0
+		B = 1
+		C = 2
+		D = 3
+		E = 4
+	)
+	return &System{
+		BusNames: []string{"A", "B", "C", "D", "E"},
+		Gens: []Generator{
+			{Name: "Alta", Bus: A, CapacityMW: 110, CostUSDPerMWh: 14},
+			{Name: "ParkCity", Bus: A, CapacityMW: 100, CostUSDPerMWh: 15},
+			{Name: "Solitude", Bus: C, CapacityMW: 520, CostUSDPerMWh: 30},
+			{Name: "Sundance", Bus: D, CapacityMW: 200, CostUSDPerMWh: 30},
+			{Name: "Brighton", Bus: E, CapacityMW: 600, CostUSDPerMWh: 10},
+		},
+		Lines: []Line{
+			{From: A, To: B, Reactance: 2.81, LimitMW: 400},
+			{From: A, To: D, Reactance: 3.04, LimitMW: 400},
+			{From: A, To: E, Reactance: 0.64, LimitMW: 400},
+			{From: B, To: C, Reactance: 1.08, LimitMW: 400},
+			{From: C, To: D, Reactance: 2.97, LimitMW: 400},
+			{From: D, To: E, Reactance: 2.97, LimitMW: 240},
+		},
+		RefBus: 0,
+	}
+}
+
+// ConsumerBuses returns the paper's three consumer locations in PJM5Bus
+// order (B, C, D).
+func ConsumerBuses() []int { return []int{1, 2, 3} }
+
+// DeriveStepPolicies sweeps the total system load from stepMW to maxMW
+// (distributed across buses by shares, which must sum to 1) and compresses
+// each consumer bus's LMP-vs-load profile into a step function — the
+// derivation behind the paper's Figure 1.
+func DeriveStepPolicies(s *System, shares []float64, consumers []int, maxMW, stepMW float64) ([]piecewise.StepFunction, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(s.BusNames)
+	if len(shares) != n {
+		return nil, fmt.Errorf("powergrid: %d shares for %d buses", len(shares), n)
+	}
+	if stepMW <= 0 || maxMW <= stepMW {
+		return nil, fmt.Errorf("powergrid: bad sweep [%v, %v]", stepMW, maxMW)
+	}
+	var totalShare float64
+	for _, sh := range shares {
+		if sh < 0 {
+			return nil, fmt.Errorf("powergrid: negative share %v", sh)
+		}
+		totalShare += sh
+	}
+	if math.Abs(totalShare-1) > 1e-9 {
+		return nil, fmt.Errorf("powergrid: shares sum to %v, want 1", totalShare)
+	}
+
+	steps := int(maxMW / stepMW)
+	prices := make([][]float64, len(consumers))
+	loads := make([]float64, 0, steps)
+	loadVec := make([]float64, n)
+	for k := 1; k <= steps; k++ {
+		L := float64(k) * stepMW
+		for b := range loadVec {
+			loadVec[b] = L * shares[b]
+		}
+		d, err := s.Solve(loadVec)
+		if err != nil {
+			break // beyond feasible system load: the sweep ends here
+		}
+		loads = append(loads, L)
+		for ci, bus := range consumers {
+			prices[ci] = append(prices[ci], d.LMP[bus])
+		}
+	}
+	if len(loads) < 2 {
+		return nil, fmt.Errorf("powergrid: sweep produced %d feasible points", len(loads))
+	}
+
+	out := make([]piecewise.StepFunction, len(consumers))
+	for ci := range consumers {
+		thresholds, rates := compressSteps(loads, prices[ci])
+		fn, err := piecewise.New(thresholds, rates)
+		if err != nil {
+			return nil, fmt.Errorf("powergrid: consumer %d: %w", ci, err)
+		}
+		out[ci] = fn
+	}
+	return out, nil
+}
+
+// compressSteps merges consecutive sweep points with (numerically) equal
+// prices into segments.
+func compressSteps(loads, prices []float64) (thresholds, rates []float64) {
+	const eps = 1e-6
+	rates = append(rates, round6(prices[0]))
+	for i := 1; i < len(prices); i++ {
+		r := round6(prices[i])
+		if math.Abs(r-rates[len(rates)-1]) > eps {
+			thresholds = append(thresholds, loads[i])
+			rates = append(rates, r)
+		}
+	}
+	return thresholds, rates
+}
+
+func round6(x float64) float64 { return math.Round(x*1e6) / 1e6 }

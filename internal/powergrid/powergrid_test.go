@@ -1,0 +1,221 @@
+package powergrid
+
+import (
+	"math"
+	"testing"
+)
+
+func near(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestValidate(t *testing.T) {
+	if err := PJM5Bus().Validate(); err != nil {
+		t.Fatalf("PJM five-bus rejected: %v", err)
+	}
+	bad := []func(*System){
+		func(s *System) { s.BusNames = s.BusNames[:1] },
+		func(s *System) { s.RefBus = 99 },
+		func(s *System) { s.Gens = nil },
+		func(s *System) { s.Gens[0].Bus = 77 },
+		func(s *System) { s.Gens[0].CapacityMW = 0 },
+		func(s *System) { s.Lines = nil },
+		func(s *System) { s.Lines[0].From = s.Lines[0].To },
+		func(s *System) { s.Lines[0].Reactance = 0 },
+	}
+	for i, mut := range bad {
+		s := PJM5Bus()
+		mut(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestSolveZeroLoad(t *testing.T) {
+	s := PJM5Bus()
+	d, err := s.Solve(make([]float64, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CostUSD != 0 {
+		t.Errorf("zero-load cost %v", d.CostUSD)
+	}
+	// Marginal price everywhere is the cheapest unit, Brighton at $10 —
+	// the 10.00 $/MWh base price the paper's Figure 1 shows for location B.
+	for b, lmp := range d.LMP {
+		if !near(lmp, 10, 1e-6) {
+			t.Errorf("bus %d LMP %v, want 10 (Brighton marginal)", b, lmp)
+		}
+	}
+}
+
+func TestSolveBalances(t *testing.T) {
+	s := PJM5Bus()
+	load := []float64{0, 150, 150, 150, 0}
+	d, err := s.Solve(load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genSum := 0.0
+	for _, g := range d.GenMW {
+		genSum += g
+	}
+	if !near(genSum, 450, 1e-6) {
+		t.Errorf("generation %v != load 450", genSum)
+	}
+	// Every generator within capacity.
+	for k, g := range d.GenMW {
+		if g < -1e-9 || g > s.Gens[k].CapacityMW+1e-9 {
+			t.Errorf("gen %s output %v outside [0, %v]", s.Gens[k].Name, g, s.Gens[k].CapacityMW)
+		}
+	}
+	// Every line within limits.
+	for i, f := range d.FlowMW {
+		if math.Abs(f) > s.Lines[i].LimitMW+1e-6 {
+			t.Errorf("line %d flow %v beyond ±%v", i, f, s.Lines[i].LimitMW)
+		}
+	}
+	// Per-bus balance: gen − load = net export.
+	for b := range s.BusNames {
+		gen := 0.0
+		for k, g := range s.Gens {
+			if g.Bus == b {
+				gen += d.GenMW[k]
+			}
+		}
+		net := 0.0
+		for i, l := range s.Lines {
+			if l.From == b {
+				net += d.FlowMW[i]
+			}
+			if l.To == b {
+				net -= d.FlowMW[i]
+			}
+		}
+		if !near(gen-load[b], net, 1e-6) {
+			t.Errorf("bus %d: gen−load %v != net export %v", b, gen-load[b], net)
+		}
+	}
+}
+
+func TestCheapestDispatchFirst(t *testing.T) {
+	// At light load everything comes from Brighton ($10).
+	s := PJM5Bus()
+	d, err := s.Solve([]float64{0, 100, 100, 100, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(d.GenMW[4], 300, 1e-6) {
+		t.Errorf("Brighton output %v, want 300", d.GenMW[4])
+	}
+	if !near(d.CostUSD, 3000, 1e-6) {
+		t.Errorf("cost %v, want 3000", d.CostUSD)
+	}
+}
+
+func TestLMPStepsUpUnderLoad(t *testing.T) {
+	// As load grows past Brighton's 600 MW (plus the E-D line limit),
+	// pricier units set the margin and consumer LMPs rise.
+	s := PJM5Bus()
+	light, err := s.Solve([]float64{0, 100, 100, 100, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := s.Solve([]float64{0, 280, 280, 280, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bus := range ConsumerBuses() {
+		if heavy.LMP[bus] <= light.LMP[bus] {
+			t.Errorf("bus %d LMP did not rise: %v -> %v", bus, light.LMP[bus], heavy.LMP[bus])
+		}
+	}
+}
+
+func TestCongestionSeparatesPrices(t *testing.T) {
+	// Find a load level where a constraint binds and LMPs differ by bus —
+	// the locational in "locational marginal pricing".
+	s := PJM5Bus()
+	for _, L := range []float64{600, 750, 900} {
+		d, err := s.Solve([]float64{0, L / 3, L / 3, L / 3, 0})
+		if err != nil {
+			continue
+		}
+		spread := 0.0
+		for _, b1 := range ConsumerBuses() {
+			for _, b2 := range ConsumerBuses() {
+				if diff := math.Abs(d.LMP[b1] - d.LMP[b2]); diff > spread {
+					spread = diff
+				}
+			}
+		}
+		if spread > 1e-6 {
+			return // found locational separation
+		}
+	}
+	t.Error("no load level produced locational price separation")
+}
+
+func TestInfeasibleBeyondCapacity(t *testing.T) {
+	s := PJM5Bus()
+	// Total generation is 1530 MW; ask for more.
+	if _, err := s.Solve([]float64{0, 600, 600, 600, 0}); err == nil {
+		t.Error("impossible load accepted")
+	}
+	if _, err := s.Solve([]float64{0, -5, 0, 0, 0}); err == nil {
+		t.Error("negative load accepted")
+	}
+	if _, err := s.Solve([]float64{1, 2}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}
+
+func TestDeriveStepPolicies(t *testing.T) {
+	s := PJM5Bus()
+	shares := []float64{0, 1.0 / 3, 1.0 / 3, 1.0 / 3, 0}
+	fns, err := DeriveStepPolicies(s, shares, ConsumerBuses(), 1500, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fns) != 3 {
+		t.Fatalf("policies = %d", len(fns))
+	}
+	for ci, fn := range fns {
+		// The paper's Figure 1 structure: a low flat start with step
+		// changes as constraints bind.
+		if fn.NumSegments() < 2 {
+			t.Errorf("consumer %d: only %d segment(s)", ci, fn.NumSegments())
+		}
+		if !near(fn.Rates()[0], 10, 1e-6) {
+			t.Errorf("consumer %d: base price %v, want 10 (Brighton)", ci, fn.Rates()[0])
+		}
+		// Later rates are higher than the base.
+		if fn.Max() <= fn.Rates()[0] {
+			t.Errorf("consumer %d: no price increase across the sweep", ci)
+		}
+	}
+	// The derived policy evaluates like the OPF at a probe load.
+	probe := 900.0
+	d, err := s.Solve([]float64{0, probe / 3, probe / 3, probe / 3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, bus := range ConsumerBuses() {
+		if got := fns[ci].Eval(probe); !near(got, d.LMP[bus], 1e-4) {
+			t.Errorf("consumer %d: derived policy %v vs OPF LMP %v at %v MW", ci, got, d.LMP[bus], probe)
+		}
+	}
+}
+
+func TestDeriveValidation(t *testing.T) {
+	s := PJM5Bus()
+	good := []float64{0, 1.0 / 3, 1.0 / 3, 1.0 / 3, 0}
+	if _, err := DeriveStepPolicies(s, good[:2], ConsumerBuses(), 1000, 10); err == nil {
+		t.Error("share arity accepted")
+	}
+	if _, err := DeriveStepPolicies(s, []float64{0, 1, 1, 1, 0}, ConsumerBuses(), 1000, 10); err == nil {
+		t.Error("shares not summing to 1 accepted")
+	}
+	if _, err := DeriveStepPolicies(s, good, ConsumerBuses(), 5, 10); err == nil {
+		t.Error("bad sweep range accepted")
+	}
+}

@@ -1,0 +1,120 @@
+package pricing
+
+import (
+	"math"
+	"testing"
+)
+
+func near(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPaperPolicy1DC1(t *testing.T) {
+	ps := PaperPolicies(Policy1)
+	if len(ps) != 3 {
+		t.Fatalf("len = %d, want 3", len(ps))
+	}
+	dc1 := ps[0]
+	if dc1.Location != "B" {
+		t.Errorf("DC1 location = %q, want B", dc1.Location)
+	}
+	// The paper's quoted rates and the 200 MW second step.
+	cases := []struct{ load, want float64 }{
+		{100, 10.00}, {210, 13.90}, {310, 15.00}, {500, 22.00}, {700, 24.00},
+	}
+	for _, c := range cases {
+		if got := dc1.Price(c.load); !near(got, c.want, 1e-12) {
+			t.Errorf("DC1 price(%v) = %v, want %v", c.load, got, c.want)
+		}
+	}
+}
+
+func TestPolicy0IsFlatMean(t *testing.T) {
+	p0 := PaperPolicies(Policy0)
+	p1 := PaperPolicies(Policy1)
+	for i := range p0 {
+		mean := p1[i].Fn.Mean()
+		for _, load := range []float64{0, 250, 900} {
+			if got := p0[i].Price(load); !near(got, mean, 1e-12) {
+				t.Errorf("site %d Policy0 price(%v) = %v, want flat %v", i, load, got, mean)
+			}
+		}
+	}
+	// Paper: DC1 average price is 16.98.
+	if got := p0[0].Price(0); !near(got, 16.98, 1e-10) {
+		t.Errorf("DC1 Policy0 price = %v, want 16.98", got)
+	}
+}
+
+func TestPolicy2And3MatchPaperRates(t *testing.T) {
+	p2 := PaperPolicies(Policy2)[0].Fn.Rates()
+	p3 := PaperPolicies(Policy3)[0].Fn.Rates()
+	want2 := []float64{10.00, 17.80, 20.00, 34.00, 38.00}
+	want3 := []float64{10.00, 21.70, 25.00, 46.00, 52.00}
+	for k := range want2 {
+		if !near(p2[k], want2[k], 1e-10) {
+			t.Errorf("Policy2 rate[%d] = %v, want %v", k, p2[k], want2[k])
+		}
+		if !near(p3[k], want3[k], 1e-10) {
+			t.Errorf("Policy3 rate[%d] = %v, want %v", k, p3[k], want3[k])
+		}
+	}
+}
+
+func TestPoliciesAreNonDecreasingInLoad(t *testing.T) {
+	for _, v := range []PolicyVariant{Policy0, Policy1, Policy2, Policy3} {
+		for _, p := range PaperPolicies(v) {
+			prev := -1.0
+			for load := 0.0; load < 1000; load += 5 {
+				cur := p.Price(load)
+				if cur < prev-1e-12 {
+					t.Errorf("%s: price decreases at load %v (%v -> %v)", p.Name, load, prev, cur)
+				}
+				prev = cur
+			}
+		}
+	}
+}
+
+func TestFlattenAvgLow(t *testing.T) {
+	p1 := PaperPolicies(Policy1)[0]
+	avg := FlattenAvg(p1)
+	low := FlattenLow(p1)
+	if got := avg.Price(500); !near(got, 16.98, 1e-10) {
+		t.Errorf("FlattenAvg price = %v, want 16.98", got)
+	}
+	if got := low.Price(500); !near(got, 10.00, 1e-10) {
+		t.Errorf("FlattenLow price = %v, want 10.00", got)
+	}
+}
+
+func TestSynthetic(t *testing.T) {
+	ps := Synthetic(13)
+	if len(ps) != 13 {
+		t.Fatalf("len = %d, want 13", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if p.Fn.NumSegments() != 5 {
+			t.Errorf("%s has %d segments, want 5", p.Name, p.Fn.NumSegments())
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate policy name %s", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	// Sites one cycle apart must differ in rates.
+	if near(ps[0].Price(100), ps[3].Price(100), 1e-12) {
+		t.Errorf("synthetic sites 0 and 3 have identical base rates")
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	want := map[PolicyVariant]string{
+		Policy0: "Policy0", Policy1: "Policy1", Policy2: "Policy2",
+		Policy3: "Policy3", PolicyVariant(9): "PolicyVariant(9)",
+	}
+	for v, w := range want {
+		if v.String() != w {
+			t.Errorf("String() = %q, want %q", v.String(), w)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package queueing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestErlangCKnownValues(t *testing.T) {
+	// M/M/1: C = ρ.
+	c, err := ErlangC(0.7, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(c, 0.7, 1e-12) {
+		t.Errorf("M/M/1 ErlangC = %v, want 0.7", c)
+	}
+	// M/M/2 with a = 1 (ρ = 0.5): C = a²/(a²+... ) — textbook value 1/3.
+	c, err = ErlangC(1, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(c, 1.0/3, 1e-12) {
+		t.Errorf("M/M/2 ErlangC = %v, want 1/3", c)
+	}
+	// Unstable → 1.
+	c, _ = ErlangC(5, 1, 2)
+	if c != 1 {
+		t.Errorf("unstable ErlangC = %v", c)
+	}
+	if _, err := ErlangC(-1, 1, 1); err == nil {
+		t.Error("negative lambda accepted")
+	}
+	if _, err := ErlangC(1, 0, 1); err == nil {
+		t.Error("zero mu accepted")
+	}
+}
+
+func TestFullAllenCunneenTracksErlangC(t *testing.T) {
+	// With C_A² = C_B² = 1 the full Allen-Cunneen approximation must stay
+	// within a few percent of the exact M/M/m response time at moderate to
+	// high utilization.
+	m := Model{Mu: 1, K: 1}
+	for _, tc := range []struct {
+		servers int
+		rho     float64
+	}{
+		{1, 0.8}, {4, 0.85}, {16, 0.9}, {64, 0.95},
+	} {
+		lambda := tc.rho * float64(tc.servers) * m.Mu
+		exact, err := m.ResponseTimeMMm(lambda, tc.servers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx := m.ResponseTimeFull(lambda, tc.servers)
+		rel := math.Abs(approx-exact) / exact
+		if rel > 0.08 {
+			t.Errorf("m=%d ρ=%v: A-C %v vs Erlang-C %v (rel %.3f)",
+				tc.servers, tc.rho, approx, exact, rel)
+		}
+	}
+}
+
+func TestDESConfigValidate(t *testing.T) {
+	good := DESConfig{Servers: 2, Mu: 1, Lambda: 1.5, ArrivalCV2: 1, ServiceCV2: 1, Samples: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := []DESConfig{
+		{Servers: 0, Mu: 1, Lambda: 0.5, ArrivalCV2: 1, ServiceCV2: 1, Samples: 1},
+		{Servers: 1, Mu: 0, Lambda: 0.5, ArrivalCV2: 1, ServiceCV2: 1, Samples: 1},
+		{Servers: 1, Mu: 1, Lambda: 2, ArrivalCV2: 1, ServiceCV2: 1, Samples: 1}, // unstable
+		{Servers: 1, Mu: 1, Lambda: 0.5, ArrivalCV2: 0, ServiceCV2: 1, Samples: 1},
+		{Servers: 1, Mu: 1, Lambda: 0.5, ArrivalCV2: 1, ServiceCV2: 1, Samples: 0},
+		{Servers: 1, Mu: 1, Lambda: 0.5, ArrivalCV2: 1, ServiceCV2: 1, Samples: 1, Warmup: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestDESMatchesErlangCForMMm(t *testing.T) {
+	// Ground truth check: with exponential arrivals and services the DES
+	// must reproduce the exact M/M/m mean response time.
+	for _, tc := range []struct {
+		servers int
+		rho     float64
+	}{
+		{1, 0.7}, {4, 0.8}, {16, 0.9},
+	} {
+		m := Model{Mu: 1, K: 1}
+		lambda := tc.rho * float64(tc.servers)
+		cfg := DESConfig{
+			Servers: tc.servers, Mu: 1, Lambda: lambda,
+			ArrivalCV2: 1, ServiceCV2: 1,
+			Warmup: 20000, Samples: 200000, Seed: 42,
+		}
+		res, err := SimulateGGm(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := m.ResponseTimeMMm(lambda, tc.servers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(res.MeanResponse-exact) / exact
+		if rel > 0.05 {
+			t.Errorf("m=%d ρ=%v: DES %v vs exact %v (rel %.3f)",
+				tc.servers, tc.rho, res.MeanResponse, exact, rel)
+		}
+		if math.Abs(res.Utilization-tc.rho) > 0.03 {
+			t.Errorf("m=%d: measured utilization %v, want %v", tc.servers, res.Utilization, tc.rho)
+		}
+	}
+}
+
+func TestDESValidatesAllenCunneenGGm(t *testing.T) {
+	// The headline validation: for non-exponential traffic the paper's
+	// G/G/m approximation must track the simulated truth within ~20% in the
+	// regime the local optimizer operates in (high utilization).
+	cases := []struct {
+		servers                int
+		rho, arrivCV2, servCV2 float64
+	}{
+		{4, 0.85, 0.5, 0.5},
+		{8, 0.9, 2.0, 1.0},
+		{16, 0.9, 1.5, 2.0},
+		{32, 0.92, 0.7, 1.3},
+	}
+	for _, tc := range cases {
+		lambda := tc.rho * float64(tc.servers)
+		cfg := DESConfig{
+			Servers: tc.servers, Mu: 1, Lambda: lambda,
+			ArrivalCV2: tc.arrivCV2, ServiceCV2: tc.servCV2,
+			Warmup: 20000, Samples: 200000, Seed: 7,
+		}
+		res, err := SimulateGGm(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := Model{Mu: 1, K: (tc.arrivCV2 + tc.servCV2) / 2}
+		approx := m.ResponseTimeFull(lambda, tc.servers)
+		rel := math.Abs(approx-res.MeanResponse) / res.MeanResponse
+		if rel > 0.20 {
+			t.Errorf("m=%d ρ=%v cv=(%v,%v): A-C %v vs DES %v (rel %.3f)",
+				tc.servers, tc.rho, tc.arrivCV2, tc.servCV2, approx, res.MeanResponse, rel)
+		}
+	}
+}
+
+func TestGammaSamplerMoments(t *testing.T) {
+	// The gamma sampler must reproduce the requested mean and CV².
+	rngSeed := int64(123)
+	for _, cv2 := range []float64{0.3, 1.0, 2.5} {
+		cfg := DESConfig{Servers: 1, Mu: 1, Lambda: 0.5, ArrivalCV2: cv2, ServiceCV2: 1, Samples: 1}
+		_ = cfg
+		rng := newTestRand(rngSeed)
+		sample := gammaSampler(2.0, cv2, rng)
+		n := 200000
+		sum, sumsq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			v := sample()
+			sum += v
+			sumsq += v * v
+		}
+		mean := sum / float64(n)
+		variance := sumsq/float64(n) - mean*mean
+		gotCV2 := variance / (mean * mean)
+		if math.Abs(mean-2)/2 > 0.02 {
+			t.Errorf("cv2=%v: mean %v, want 2", cv2, mean)
+		}
+		if math.Abs(gotCV2-cv2)/cv2 > 0.05 {
+			t.Errorf("cv2=%v: measured CV² %v", cv2, gotCV2)
+		}
+	}
+}
+
+// newTestRand builds a deterministic source for sampler tests.
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

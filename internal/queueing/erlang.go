@@ -1,0 +1,45 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// ErlangC returns the M/M/m probability that an arriving request must wait
+// (the Erlang-C formula), for arrival rate lambda, per-server rate mu and m
+// servers. It is the exact special case (C_A² = C_B² = 1) that anchors the
+// Allen–Cunneen approximation used everywhere else in this repository.
+func ErlangC(lambda, mu float64, m int) (float64, error) {
+	if lambda < 0 || mu <= 0 || m < 1 {
+		return 0, fmt.Errorf("queueing: ErlangC(%v, %v, %d)", lambda, mu, m)
+	}
+	a := lambda / mu // offered load in Erlangs
+	if a >= float64(m) {
+		return 1, nil // unstable: everyone waits
+	}
+	// Iterative computation of the Erlang-B blocking probability, then the
+	// standard conversion to Erlang-C; numerically stable for large m.
+	b := 1.0
+	for k := 1; k <= m; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	rho := a / float64(m)
+	c := b / (1 - rho*(1-b))
+	return c, nil
+}
+
+// ResponseTimeMMm returns the exact M/M/m mean response time in hours.
+func (q Model) ResponseTimeMMm(lambda float64, m int) (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	c, err := ErlangC(lambda, q.Mu, m)
+	if err != nil {
+		return 0, err
+	}
+	capacity := float64(m) * q.Mu
+	if capacity <= lambda {
+		return math.Inf(1), nil
+	}
+	return 1/q.Mu + c/(capacity-lambda), nil
+}

@@ -1,0 +1,177 @@
+package queueing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func near(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// dc1 mirrors the paper's Data Center 1: 500 req/s per server.
+func dc1() Model { return Model{Mu: 500 * 3600, K: 1.0} }
+
+func TestValidate(t *testing.T) {
+	if err := dc1().Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	if err := (Model{Mu: 0, K: 1}).Validate(); err == nil {
+		t.Error("zero mu accepted")
+	}
+	if err := (Model{Mu: 1, K: 0}).Validate(); err == nil {
+		t.Error("zero K accepted")
+	}
+}
+
+func TestResponseTimeStability(t *testing.T) {
+	m := dc1()
+	if r := m.ResponseTime(1e9, 100); !math.IsInf(r, 1) {
+		t.Errorf("overloaded system returned finite response time %v", r)
+	}
+	if r := m.ResponseTime(100, 0); !math.IsInf(r, 1) {
+		t.Errorf("zero servers returned finite response time %v", r)
+	}
+	// Lightly loaded: response time close to service time 1/µ.
+	r := m.ResponseTime(m.Mu/2, 10)
+	if r < 1/m.Mu || r > 2/m.Mu {
+		t.Errorf("light-load response time %v out of (1/µ, 2/µ)", r)
+	}
+}
+
+func TestResponseTimeMonotonicInServers(t *testing.T) {
+	m := dc1()
+	lambda := 50 * m.Mu
+	prev := math.Inf(1)
+	for n := 51; n < 70; n++ {
+		r := m.ResponseTime(lambda, n)
+		if r > prev+1e-15 {
+			t.Errorf("response time increased with servers at n=%d: %v -> %v", n, prev, r)
+		}
+		prev = r
+	}
+}
+
+func TestMinServersMeetsSLA(t *testing.T) {
+	m := dc1()
+	rs := 3 / m.Mu // three service times
+	for _, lambda := range []float64{0, 1, m.Mu, 10.5 * m.Mu, 1e8} {
+		n, err := m.MinServers(lambda, rs)
+		if err != nil {
+			t.Fatalf("MinServers(%v): %v", lambda, err)
+		}
+		if r := m.ResponseTime(lambda, n); r > rs+1e-12 {
+			t.Errorf("λ=%v: n=%d gives R=%v > Rs=%v", lambda, n, r, rs)
+		}
+		if n > 1 {
+			if r := m.ResponseTime(lambda, n-1); r <= rs-1e-9*rs {
+				t.Errorf("λ=%v: n-1=%d already meets the SLA (R=%v ≤ %v); n not minimal", lambda, n-1, r, rs)
+			}
+		}
+	}
+}
+
+func TestMinServersInfeasibleSLA(t *testing.T) {
+	m := dc1()
+	if _, err := m.MinServers(100, 0.5/m.Mu); err == nil {
+		t.Error("SLA below service time accepted")
+	}
+	if _, err := m.MinServers(-5, 3/m.Mu); err == nil {
+		t.Error("negative arrival rate accepted")
+	}
+}
+
+func TestServerCoefficientsMatchFrac(t *testing.T) {
+	m := dc1()
+	rs := 2.5 / m.Mu
+	alpha, beta, err := m.ServerCoefficients(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lambda := range []float64{0, 1e5, 3e8} {
+		frac, err := m.MinServersFrac(lambda, rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !near(frac, alpha*lambda+beta, 1e-9*(1+frac)) {
+			t.Errorf("λ=%v: frac %v != affine %v", lambda, frac, alpha*lambda+beta)
+		}
+	}
+}
+
+func TestFullModelUpperBoundedBySimplified(t *testing.T) {
+	// ρ^√(2(n+1)) ≤ 1 for ρ ≤ 1, so the full model never exceeds the
+	// simplified one in the stable region.
+	m := Model{Mu: 1000, K: 1.3}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(500)
+		lambda := r.Float64() * 0.999 * float64(n) * m.Mu
+		simple := m.ResponseTime(lambda, n)
+		full := m.ResponseTimeFull(lambda, n)
+		return full <= simple+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	m := dc1()
+	if u := m.Utilization(m.Mu*5, 10); !near(u, 0.5, 1e-12) {
+		t.Errorf("utilization = %v, want 0.5", u)
+	}
+	if u := m.Utilization(m.Mu*100, 10); u != 1 {
+		t.Errorf("overload utilization = %v, want clamp to 1", u)
+	}
+	if u := m.Utilization(-1, 10); u != 0 {
+		t.Errorf("negative utilization = %v, want 0", u)
+	}
+	if u := m.Utilization(5, 0); u != 0 {
+		t.Errorf("zero-server utilization = %v, want 0", u)
+	}
+}
+
+func TestMaxThroughputRoundTrip(t *testing.T) {
+	m := dc1()
+	rs := 3 / m.Mu
+	maxServers := 1000
+	lam, err := m.MaxThroughput(maxServers, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The max throughput must itself require no more than maxServers.
+	n, err := m.MinServers(lam, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > maxServers {
+		t.Errorf("MaxThroughput %v needs %d servers > %d", lam, n, maxServers)
+	}
+	// Slightly more load must exceed the fleet.
+	n2, err := m.MinServers(lam*1.01, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 <= maxServers {
+		t.Errorf("1%% above MaxThroughput still fits: n=%d", n2)
+	}
+}
+
+func TestMinServersPropertyRandom(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := Model{Mu: 100 + r.Float64()*1e6, K: 0.2 + r.Float64()*3}
+		rs := (1 + 5*r.Float64()) / m.Mu * 2
+		lambda := r.Float64() * 1e8
+		n, err := m.MinServers(lambda, rs)
+		if err != nil {
+			// Only acceptable when the SLA is genuinely unachievable.
+			return rs <= 1/m.Mu
+		}
+		return m.ResponseTime(lambda, n) <= rs+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

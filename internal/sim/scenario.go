@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"math"
+
+	"billcap/internal/dcmodel"
+	"billcap/internal/grid"
+	"billcap/internal/pricing"
+	"billcap/internal/workload"
+)
+
+// PaperScenario assembles the canonical evaluation setup of the paper's
+// §VI–§VII: the three paper data centers, the PJM-derived locational
+// policies for the chosen variant, a two-month synthetic Wikipedia-like
+// trace (first month = budgeting history, second month = evaluated month),
+// RECO-like background demand per region, and the 80/20 premium/ordinary
+// split. monthlyBudgetUSD of +Inf disables capping.
+func PaperScenario(variant pricing.PolicyVariant, monthlyBudgetUSD float64) (Config, error) {
+	trace, err := workload.Synthetic(workload.DefaultWikipedia())
+	if err != nil {
+		return Config{}, err
+	}
+	half := trace.Len() / 2
+	history := trace.Slice(0, half)
+	month := trace.Slice(half, trace.Len())
+
+	regions, err := grid.PaperRegions(trace.Len(), 20050601)
+	if err != nil {
+		return Config{}, err
+	}
+	demand := make([]grid.Demand, len(regions))
+	for i, r := range regions {
+		demand[i] = grid.Demand{Region: r.Region, MW: r.MW[half:].Clone()}
+	}
+
+	return Config{
+		DCs:              dcmodel.PaperSites(),
+		Policies:         pricing.PaperPolicies(variant),
+		Month:            month,
+		History:          history,
+		Demand:           demand,
+		PremiumFrac:      0.8,
+		MonthlyBudgetUSD: monthlyBudgetUSD,
+	}, nil
+}
+
+// Uncapped is the budget value that disables capping.
+func Uncapped() float64 { return math.Inf(1) }
+
+// The paper sweeps monthly budgets of $0.5M–$2.5M against a workload whose
+// uncapped monthly bill is ≈$2.0M and whose premium-only floor is ≈70% of
+// that. This reproduction's synthetic workload produces an uncapped bill of
+// ≈$719K on the same three sites (see EXPERIMENTS.md), so the sweep is
+// mapped onto the same *ratios* of the uncapped bill rather than the same
+// dollar figures.
+
+// PaperBudgets returns the five monthly budgets of the paper's Fig. 10
+// sweep, rescaled: {0.25, 0.5, 0.85, 0.97, 1.08} of the uncapped bill,
+// playing the roles of the paper's $0.5M, $1.0M, $1.5M, $2.0M and $2.5M.
+// The middle points sit higher relative to the uncapped bill than the
+// paper's because this reproduction's cost is closer to linear in load, so
+// the premium-only floor (≈73% of the uncapped bill) is higher than the
+// paper's effective floor.
+func PaperBudgets() []float64 {
+	return []float64{180_000, 360_000, 610_000, 700_000, 775_000}
+}
+
+// TightBudget plays the paper's insufficient $1.5M budget (Figs. 7–9):
+// above the premium-only floor (≈$525K), well below the uncapped bill, so
+// premium is always served and ordinary traffic is partially admitted.
+func TightBudget() float64 { return 610_000 }
+
+// AbundantBudget plays the paper's sufficient $2.5M budget (Figs. 5–6).
+func AbundantBudget() float64 { return 775_000 }
+
+// ShortScenario is PaperScenario truncated to the given number of month
+// weeks (history stays at whole weeks too); used by tests and quick demos.
+func ShortScenario(variant pricing.PolicyVariant, monthlyBudgetUSD float64, monthWeeks int) (Config, error) {
+	cfg, err := PaperScenario(variant, monthlyBudgetUSD)
+	if err != nil {
+		return Config{}, err
+	}
+	hours := monthWeeks * workload.HoursPerWeek
+	if hours < cfg.Month.Len() {
+		cfg.Month = cfg.Month.Slice(0, hours)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,365 @@
+// Package sim replays a month of hourly workload against a network of data
+// centers under a chosen dispatching strategy and accounts the ground truth:
+// realized power, the prices the markets actually charge, budget adherence
+// and served throughput (paper §VI–§VII).
+//
+// Each simulated hour follows the paper's control loop:
+//
+//  1. the budgeter announces the hour's available budget,
+//  2. the strategy decides the per-site workload allocation,
+//  3. the dispatcher enforces it (no inter-site migration afterwards),
+//  4. the realized bill is charged and recorded back into the budgeter.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"billcap/internal/budget"
+	"billcap/internal/core"
+	"billcap/internal/dcmodel"
+	"billcap/internal/forecast"
+	"billcap/internal/grid"
+	"billcap/internal/pricing"
+	"billcap/internal/timeseries"
+	"billcap/internal/workload"
+)
+
+// Decider is a dispatching strategy: Cost Capping or a baseline.
+type Decider interface {
+	// Name labels the strategy in reports.
+	Name() string
+	// Decide allocates one hour's workload.
+	Decide(in core.HourInput) (core.Decision, error)
+}
+
+// Config describes one simulation run.
+type Config struct {
+	// DCs and Policies define the physical system and its power markets.
+	DCs      []*dcmodel.Site
+	Policies []pricing.Policy
+	// Month is the evaluated workload (hour 0 = Monday 00:00).
+	Month workload.Trace
+	// History is the workload preceding Month, used to derive the
+	// budgeter's hourly weights. It must end at a week boundary so that
+	// hour-of-week alignment carries over.
+	History workload.Trace
+	// Demand is the per-region background draw covering at least the month.
+	Demand []grid.Demand
+	// PremiumFrac is the fraction of each hour's arrivals that is premium
+	// (paper §VII-C: 0.8).
+	PremiumFrac float64
+	// MonthlyBudgetUSD caps the month's bill; +Inf disables capping.
+	MonthlyBudgetUSD float64
+	// CapPenaltyUSDPerMWh prices power-cap violations in the realization
+	// (0 → the core default).
+	CapPenaltyUSDPerMWh float64
+	// PredictionError optionally corrupts the budgeter's workload
+	// prediction with mean-one lognormal error of this relative magnitude
+	// (robustness experiments; 0 = perfect hour-of-week prediction).
+	PredictionError float64
+	// PredictionSeed seeds the error stream.
+	PredictionSeed int64
+}
+
+// Validate reports the first configuration problem.
+func (c Config) Validate() error {
+	switch {
+	case len(c.DCs) == 0:
+		return fmt.Errorf("sim: no data centers")
+	case len(c.DCs) != len(c.Policies):
+		return fmt.Errorf("sim: %d sites but %d policies", len(c.DCs), len(c.Policies))
+	case len(c.Demand) != len(c.DCs):
+		return fmt.Errorf("sim: %d demand regions for %d sites", len(c.Demand), len(c.DCs))
+	case c.Month.Len() == 0:
+		return fmt.Errorf("sim: empty month")
+	case c.History.Len() == 0:
+		return fmt.Errorf("sim: empty history")
+	case c.History.Len()%workload.HoursPerWeek != 0:
+		return fmt.Errorf("sim: history length %d is not whole weeks", c.History.Len())
+	case c.PremiumFrac < 0 || c.PremiumFrac > 1:
+		return fmt.Errorf("sim: premium fraction %v", c.PremiumFrac)
+	case math.IsNaN(c.MonthlyBudgetUSD) || c.MonthlyBudgetUSD < 0:
+		return fmt.Errorf("sim: monthly budget %v", c.MonthlyBudgetUSD)
+	}
+	for i, d := range c.Demand {
+		if d.Len() < c.Month.Len() {
+			return fmt.Errorf("sim: region %d has %d hours of demand for a %d-hour month",
+				i, d.Len(), c.Month.Len())
+		}
+	}
+	return nil
+}
+
+// HourRecord is one hour's ledger line.
+type HourRecord struct {
+	Hour            int
+	Arrived         float64
+	ArrivedPremium  float64
+	ArrivedOrdinary float64
+	ServedPremium   float64
+	ServedOrdinary  float64
+	HourlyBudget    float64 // available at decision time (+Inf when uncapped)
+	PredictedCost   float64
+	CostUSD         float64 // realized energy charge
+	PenaltyUSD      float64 // realized cap penalties
+	Step            core.Step
+	CapViolations   int
+	Dropped         float64
+	// SiteLambda and SitePowerMW record the realized per-site dispatch and
+	// draw (site order follows Config.DCs).
+	SiteLambda  []float64
+	SitePowerMW []float64
+}
+
+// BillUSD is the hour's total charge.
+func (h HourRecord) BillUSD() float64 { return h.CostUSD + h.PenaltyUSD }
+
+// Result aggregates a full run.
+type Result struct {
+	Strategy string
+	Hours    []HourRecord
+
+	MonthlyBudgetUSD float64
+	TotalCostUSD     float64
+	TotalPenaltyUSD  float64
+
+	ArrivedPremium, ServedPremium   float64
+	ArrivedOrdinary, ServedOrdinary float64
+
+	// BudgetViolationHours counts hours whose realized bill exceeded the
+	// hour's available budget (expected only for premium-mandatory hours
+	// under Cost Capping, and freely for budget-blind baselines).
+	BudgetViolationHours int
+	CapViolationHours    int
+	StepCounts           map[core.Step]int
+
+	Solver core.SolverStats
+}
+
+// TotalBillUSD is the month's total charge.
+func (r Result) TotalBillUSD() float64 { return r.TotalCostUSD + r.TotalPenaltyUSD }
+
+// BudgetUtilization is bill / monthly budget (0 when uncapped).
+func (r Result) BudgetUtilization() float64 {
+	if math.IsInf(r.MonthlyBudgetUSD, 1) || r.MonthlyBudgetUSD == 0 {
+		return 0
+	}
+	return r.TotalBillUSD() / r.MonthlyBudgetUSD
+}
+
+// PremiumServiceRate is served/arrived premium traffic (1 when none arrived).
+func (r Result) PremiumServiceRate() float64 {
+	if r.ArrivedPremium == 0 {
+		return 1
+	}
+	return r.ServedPremium / r.ArrivedPremium
+}
+
+// OrdinaryServiceRate is served/arrived ordinary traffic (1 when none).
+func (r Result) OrdinaryServiceRate() float64 {
+	if r.ArrivedOrdinary == 0 {
+		return 1
+	}
+	return r.ServedOrdinary / r.ArrivedOrdinary
+}
+
+// HourlyBills extracts the realized bill series.
+func (r Result) HourlyBills() timeseries.Series {
+	out := make(timeseries.Series, len(r.Hours))
+	for i, h := range r.Hours {
+		out[i] = h.BillUSD()
+	}
+	return out
+}
+
+// HourlyBudgets extracts the available-budget series.
+func (r Result) HourlyBudgets() timeseries.Series {
+	out := make(timeseries.Series, len(r.Hours))
+	for i, h := range r.Hours {
+		out[i] = h.HourlyBudget
+	}
+	return out
+}
+
+// Run replays the month under the given strategy. Ground truth (discrete
+// power, true LMP prices, penalties) is evaluated on a reference system that
+// always models full power and true prices, regardless of what the strategy
+// believes.
+func Run(cfg Config, decider Decider) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	truth, err := core.NewSystem(cfg.DCs, cfg.Policies, core.Options{
+		Scope:               dcmodel.FullPower,
+		PriceView:           core.ViewLMP,
+		CapPenaltyUSDPerMWh: cfg.CapPenaltyUSDPerMWh,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	capped := !math.IsInf(cfg.MonthlyBudgetUSD, 1)
+	var budgeter *budget.Budgeter
+	if capped {
+		hw, err := forecast.FitHourOfWeek(cfg.History.Rates)
+		if err != nil {
+			return Result{}, err
+		}
+		pred := hw.PredictSeries(cfg.Month.Len())
+		if cfg.PredictionError > 0 {
+			pred = forecast.WithError(pred, cfg.PredictionError, cfg.PredictionSeed)
+		}
+		budgeter, err = budget.New(cfg.MonthlyBudgetUSD, pred)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	res := Result{
+		Strategy:         decider.Name(),
+		MonthlyBudgetUSD: cfg.MonthlyBudgetUSD,
+		StepCounts:       map[core.Step]int{},
+	}
+	demand := make([]float64, len(cfg.DCs))
+	for h := 0; h < cfg.Month.Len(); h++ {
+		lambda := cfg.Month.At(h)
+		premium, ordinary := workload.Split(lambda, cfg.PremiumFrac)
+		for i := range demand {
+			demand[i] = cfg.Demand[i].At(h)
+		}
+		hourBudget := math.Inf(1)
+		if capped {
+			hourBudget = budgeter.HourlyBudget()
+		}
+		in := core.HourInput{
+			Hour:          h,
+			TotalLambda:   lambda,
+			PremiumLambda: premium,
+			DemandMW:      demand,
+			BudgetUSD:     hourBudget,
+		}
+		dec, err := decider.Decide(in)
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: hour %d: %w", h, err)
+		}
+		real, err := truth.Realize(dec.Lambdas(), demand)
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: hour %d: %w", h, err)
+		}
+		if capped {
+			if err := budgeter.Record(real.BillUSD()); err != nil {
+				return Result{}, fmt.Errorf("sim: hour %d: %w", h, err)
+			}
+		}
+
+		rec := HourRecord{
+			Hour:            h,
+			Arrived:         lambda,
+			ArrivedPremium:  premium,
+			ArrivedOrdinary: ordinary,
+			ServedPremium:   dec.ServedPremium,
+			ServedOrdinary:  dec.ServedOrdinary,
+			HourlyBudget:    hourBudget,
+			PredictedCost:   dec.PredictedCostUSD,
+			CostUSD:         real.CostUSD,
+			PenaltyUSD:      real.PenaltyUSD,
+			Step:            dec.Step,
+			CapViolations:   real.CapViolations,
+			Dropped:         real.DroppedLambda,
+			SiteLambda:      make([]float64, len(real.Sites)),
+			SitePowerMW:     make([]float64, len(real.Sites)),
+		}
+		for i, sr := range real.Sites {
+			rec.SiteLambda[i] = sr.Lambda
+			rec.SitePowerMW[i] = sr.PowerMW
+		}
+		res.Hours = append(res.Hours, rec)
+		res.TotalCostUSD += rec.CostUSD
+		res.TotalPenaltyUSD += rec.PenaltyUSD
+		res.ArrivedPremium += premium
+		res.ArrivedOrdinary += ordinary
+		res.ServedPremium += rec.ServedPremium
+		res.ServedOrdinary += rec.ServedOrdinary
+		res.StepCounts[dec.Step]++
+		if rec.BillUSD() > hourBudget*(1+1e-9)+1e-6 {
+			res.BudgetViolationHours++
+		}
+		if real.CapViolations > 0 {
+			res.CapViolationHours++
+		}
+		res.Solver.Solves += dec.Solver.Solves
+		res.Solver.Nodes += dec.Solver.Nodes
+		res.Solver.Pivots += dec.Solver.Pivots
+	}
+	return res, nil
+}
+
+// RunAll replays the same scenario under several strategies concurrently
+// (each strategy holds its own optimizer state and budgeter, and the
+// configuration is only read). Results come back in decider order; the
+// first error aborts the batch.
+func RunAll(cfg Config, deciders ...Decider) ([]Result, error) {
+	type outcome struct {
+		idx int
+		res Result
+		err error
+	}
+	ch := make(chan outcome, len(deciders))
+	for i, d := range deciders {
+		go func(i int, d Decider) {
+			res, err := Run(cfg, d)
+			ch <- outcome{idx: i, res: res, err: err}
+		}(i, d)
+	}
+	results := make([]Result, len(deciders))
+	var firstErr error
+	for range deciders {
+		o := <-ch
+		if o.err != nil && firstErr == nil {
+			firstErr = o.err
+		}
+		results[o.idx] = o.res
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// CostCapping wraps the paper's two-step algorithm as a Decider.
+type CostCapping struct {
+	sys  *core.System
+	name string
+}
+
+// NewCostCapping builds the paper's strategy over the given sites: full
+// power model, true LMP price view.
+func NewCostCapping(dcs []*dcmodel.Site, policies []pricing.Policy) (*CostCapping, error) {
+	return NewCostCappingVariant("Cost Capping", dcs, policies, core.Options{
+		Scope:     dcmodel.FullPower,
+		PriceView: core.ViewLMP,
+	})
+}
+
+// NewCostCappingVariant builds the two-step algorithm with explicit
+// optimizer options — used by the ablation experiments (server-only power
+// model, price-taker view) to isolate what each modeling choice buys.
+func NewCostCappingVariant(name string, dcs []*dcmodel.Site, policies []pricing.Policy, opts core.Options) (*CostCapping, error) {
+	sys, err := core.NewSystem(dcs, policies, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &CostCapping{sys: sys, name: name}, nil
+}
+
+// Name labels the strategy as in the paper.
+func (c *CostCapping) Name() string { return c.name }
+
+// System exposes the underlying optimizer system.
+func (c *CostCapping) System() *core.System { return c.sys }
+
+// Decide runs the two-step bill capping algorithm.
+func (c *CostCapping) Decide(in core.HourInput) (core.Decision, error) {
+	return c.sys.DecideHour(in)
+}

@@ -1,0 +1,320 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"billcap/internal/baseline"
+	"billcap/internal/core"
+	"billcap/internal/pricing"
+	"billcap/internal/workload"
+)
+
+func mustScenario(t *testing.T, budget float64, weeks int) Config {
+	t.Helper()
+	cfg, err := ShortScenario(pricing.Policy1, budget, weeks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func mustCapping(t *testing.T, cfg Config) *CostCapping {
+	t.Helper()
+	cc, err := NewCostCapping(cfg.DCs, cfg.Policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cc
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := mustScenario(t, Uncapped(), 1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.DCs = nil },
+		func(c *Config) { c.Policies = c.Policies[:2] },
+		func(c *Config) { c.Demand = c.Demand[:1] },
+		func(c *Config) { c.Month = workload.Trace{} },
+		func(c *Config) { c.History = workload.Trace{} },
+		func(c *Config) { c.History = c.History.Slice(0, 100) }, // not whole weeks
+		func(c *Config) { c.PremiumFrac = 1.5 },
+		func(c *Config) { c.MonthlyBudgetUSD = -1 },
+		// Demand series shorter than the month.
+		func(c *Config) { c.Demand[0].MW = c.Demand[0].MW[:c.Month.Len()-1] },
+	}
+	for i, mut := range mutations {
+		cfg := mustScenario(t, Uncapped(), 1)
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestUncappedServesEverything(t *testing.T) {
+	cfg := mustScenario(t, Uncapped(), 2)
+	res, err := Run(cfg, mustCapping(t, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PremiumServiceRate() < 1-1e-9 {
+		t.Errorf("premium rate = %v, want 1", res.PremiumServiceRate())
+	}
+	if res.OrdinaryServiceRate() < 1-1e-4 {
+		t.Errorf("ordinary rate = %v, want ≈1", res.OrdinaryServiceRate())
+	}
+	if res.BudgetViolationHours != 0 {
+		t.Errorf("budget violations = %d under +Inf budget", res.BudgetViolationHours)
+	}
+	if res.TotalPenaltyUSD != 0 {
+		t.Errorf("penalties = %v, want 0 for the cap-aware strategy", res.TotalPenaltyUSD)
+	}
+	if res.TotalCostUSD <= 0 {
+		t.Errorf("cost = %v", res.TotalCostUSD)
+	}
+	if res.Strategy != "Cost Capping" {
+		t.Errorf("strategy = %q", res.Strategy)
+	}
+	if len(res.Hours) != cfg.Month.Len() {
+		t.Errorf("hours = %d, want %d", len(res.Hours), cfg.Month.Len())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := mustScenario(t, TightBudget(), 1)
+	r1, err := Run(cfg, mustCapping(t, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg, mustCapping(t, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TotalBillUSD() != r2.TotalBillUSD() || r1.ServedOrdinary != r2.ServedOrdinary {
+		t.Errorf("nondeterministic: %v/%v vs %v/%v",
+			r1.TotalBillUSD(), r1.ServedOrdinary, r2.TotalBillUSD(), r2.ServedOrdinary)
+	}
+}
+
+func TestCostCappingBeatsBaselines(t *testing.T) {
+	// Paper Fig. 3: Cost Capping's bill is below Min-Only (Avg) and (Low),
+	// and Low is the worst.
+	cfg := mustScenario(t, Uncapped(), 4)
+	rc, err := Run(cfg, mustCapping(t, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bills := map[baseline.Variant]float64{}
+	for _, v := range []baseline.Variant{baseline.Avg, baseline.Low} {
+		mo, err := baseline.New(cfg.DCs, cfg.Policies, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := Run(cfg, mo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bills[v] = rb.TotalBillUSD()
+		if rc.TotalBillUSD() >= rb.TotalBillUSD() {
+			t.Errorf("Cost Capping bill %v not below %s %v",
+				rc.TotalBillUSD(), mo.Name(), rb.TotalBillUSD())
+		}
+		// Baselines serve everything (they ignore budgets entirely).
+		if rb.PremiumServiceRate() < 1-1e-9 || rb.OrdinaryServiceRate() < 1-1e-4 {
+			t.Errorf("%s dropped traffic: %v/%v", mo.Name(),
+				rb.PremiumServiceRate(), rb.OrdinaryServiceRate())
+		}
+	}
+	if bills[baseline.Low] <= bills[baseline.Avg] {
+		t.Errorf("Min-Only (Low) %v not worse than (Avg) %v — paper ordering lost",
+			bills[baseline.Low], bills[baseline.Avg])
+	}
+	// Meaningful savings: at least a few percent against each baseline.
+	for v, b := range bills {
+		if saving := (b - rc.TotalBillUSD()) / b; saving < 0.02 {
+			t.Errorf("savings vs %v only %.1f%%", v, 100*saving)
+		}
+	}
+}
+
+func TestTightBudgetBehaviour(t *testing.T) {
+	// Paper Figs. 7-9 at the insufficient budget: premium always served,
+	// ordinary best-effort, monthly bill ≈ the budget (high utilization),
+	// some hours violate their hourly budget for premium QoS.
+	cfg := mustScenario(t, TightBudget(), 4)
+	res, err := Run(cfg, mustCapping(t, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PremiumServiceRate() < 1-1e-9 {
+		t.Errorf("premium rate = %v, want 1 regardless of budget", res.PremiumServiceRate())
+	}
+	ord := res.OrdinaryServiceRate()
+	if ord <= 0.05 || ord >= 0.95 {
+		t.Errorf("ordinary rate = %v, want partial service in (0.05, 0.95)", ord)
+	}
+	util := res.BudgetUtilization()
+	if util < 0.95 || util > 1.1 {
+		t.Errorf("budget utilization = %v, want ≈1", util)
+	}
+	if res.StepCounts[core.StepPremiumOnly] == 0 {
+		t.Errorf("no premium-only hours under a tight budget; steps = %v", res.StepCounts)
+	}
+	if res.StepCounts[core.StepBudgetCapped] == 0 {
+		t.Errorf("no budget-capped hours; steps = %v", res.StepCounts)
+	}
+}
+
+func TestAbundantBudgetBehaviour(t *testing.T) {
+	// Paper Figs. 5-6: with a sufficient budget everything is served and the
+	// monthly bill stays below the budget.
+	cfg := mustScenario(t, AbundantBudget(), 4)
+	res, err := Run(cfg, mustCapping(t, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PremiumServiceRate() < 1-1e-9 {
+		t.Errorf("premium rate = %v", res.PremiumServiceRate())
+	}
+	if res.OrdinaryServiceRate() < 1-1e-3 {
+		t.Errorf("ordinary rate = %v, want ≈1", res.OrdinaryServiceRate())
+	}
+	if res.TotalBillUSD() > cfg.MonthlyBudgetUSD {
+		t.Errorf("bill %v above budget %v", res.TotalBillUSD(), cfg.MonthlyBudgetUSD)
+	}
+	if res.BudgetViolationHours > 3 {
+		t.Errorf("budget violation hours = %d, want ≈0", res.BudgetViolationHours)
+	}
+}
+
+func TestBudgetSweepMonotone(t *testing.T) {
+	// Paper Fig. 10: ordinary throughput grows with the budget; premium is
+	// always fully served.
+	prev := -1.0
+	for _, b := range PaperBudgets() {
+		cfg := mustScenario(t, b, 2)
+		res, err := Run(cfg, mustCapping(t, cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PremiumServiceRate() < 1-1e-9 {
+			t.Errorf("budget %v: premium rate %v", b, res.PremiumServiceRate())
+		}
+		ord := res.OrdinaryServiceRate()
+		if ord < prev-1e-6 {
+			t.Errorf("budget %v: ordinary rate %v fell below %v", b, ord, prev)
+		}
+		prev = ord
+	}
+	if prev < 1-1e-3 {
+		t.Errorf("largest budget still throttled ordinary traffic: %v", prev)
+	}
+}
+
+func TestMinOnlyViolatesTightBudget(t *testing.T) {
+	// Paper Fig. 9: Min-Only overruns the budget (23.3% / 39.5% there).
+	cfg := mustScenario(t, TightBudget(), 4)
+	for _, v := range []baseline.Variant{baseline.Avg, baseline.Low} {
+		mo, err := baseline.New(cfg.DCs, cfg.Policies, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(cfg, mo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BudgetUtilization() < 1.1 {
+			t.Errorf("%s utilization %v, want clear overrun", mo.Name(), res.BudgetUtilization())
+		}
+	}
+}
+
+func TestPredictionErrorDegradesGracefully(t *testing.T) {
+	// Half the month → half the tight budget, so it stays genuinely tight.
+	cfg := mustScenario(t, TightBudget()/2, 2)
+	cfg.PredictionError = 0.3
+	cfg.PredictionSeed = 99
+	res, err := Run(cfg, mustCapping(t, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PremiumServiceRate() < 1-1e-9 {
+		t.Errorf("premium rate %v under prediction error", res.PremiumServiceRate())
+	}
+	// The monthly bill must still track the budget loosely.
+	if u := res.BudgetUtilization(); u < 0.8 || u > 1.25 {
+		t.Errorf("utilization %v drifted too far under 30%% prediction error", u)
+	}
+}
+
+func TestHourRecordSeries(t *testing.T) {
+	cfg := mustScenario(t, TightBudget(), 1)
+	res, err := Run(cfg, mustCapping(t, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bills := res.HourlyBills()
+	budgets := res.HourlyBudgets()
+	if len(bills) != len(res.Hours) || len(budgets) != len(res.Hours) {
+		t.Fatalf("series lengths %d/%d vs %d hours", len(bills), len(budgets), len(res.Hours))
+	}
+	sum := 0.0
+	for i, h := range res.Hours {
+		if bills[i] != h.BillUSD() {
+			t.Errorf("hour %d bill mismatch", i)
+		}
+		sum += h.CostUSD + h.PenaltyUSD
+	}
+	if math.Abs(sum-res.TotalBillUSD()) > 1e-6*(1+sum) {
+		t.Errorf("hourly bills sum %v != total %v", sum, res.TotalBillUSD())
+	}
+}
+
+func TestRunAllMatchesSequential(t *testing.T) {
+	cfg := mustScenario(t, Uncapped(), 1)
+	cc := mustCapping(t, cfg)
+	avg, err := baseline.New(cfg.DCs, cfg.Policies, baseline.Avg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := RunAll(cfg, cc, avg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 2 {
+		t.Fatalf("results = %d", len(batch))
+	}
+	// Order preserved and totals identical to sequential runs.
+	seqCC, err := Run(cfg, mustCapping(t, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch[0].Strategy != "Cost Capping" || batch[1].Strategy != "Min-Only (Avg)" {
+		t.Errorf("order = %s, %s", batch[0].Strategy, batch[1].Strategy)
+	}
+	if batch[0].TotalBillUSD() != seqCC.TotalBillUSD() {
+		t.Errorf("concurrent %v != sequential %v", batch[0].TotalBillUSD(), seqCC.TotalBillUSD())
+	}
+}
+
+func TestRunAllPropagatesErrors(t *testing.T) {
+	cfg := mustScenario(t, Uncapped(), 1)
+	bad := cfg
+	bad.Demand = bad.Demand[:1]
+	if _, err := RunAll(bad, mustCapping(t, cfg)); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestUncappedResultHelpers(t *testing.T) {
+	r := Result{MonthlyBudgetUSD: math.Inf(1)}
+	if r.BudgetUtilization() != 0 {
+		t.Errorf("uncapped utilization = %v", r.BudgetUtilization())
+	}
+	if r.PremiumServiceRate() != 1 || r.OrdinaryServiceRate() != 1 {
+		t.Errorf("empty rates should be 1")
+	}
+}

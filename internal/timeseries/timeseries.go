@@ -1,0 +1,159 @@
+// Package timeseries provides the hourly float64 series shared by the
+// workload and grid-demand substrates: summary statistics and a small CSV
+// interchange format (header "hour,value").
+package timeseries
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Series is an hourly sequence of nonnegative values (requests/hour, MW, $).
+type Series []float64
+
+// Clone returns an independent copy.
+func (s Series) Clone() Series { return append(Series(nil), s...) }
+
+// Sum returns the total over all hours.
+func (s Series) Sum() float64 {
+	t := 0.0
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+
+// Mean returns the average value, or 0 for an empty series.
+func (s Series) Mean() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	return s.Sum() / float64(len(s))
+}
+
+// Max returns the largest value, or 0 for an empty series.
+func (s Series) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range s {
+		if v > m {
+			m = v
+		}
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}
+
+// Min returns the smallest value, or 0 for an empty series.
+func (s Series) Min() float64 {
+	m := math.Inf(1)
+	for _, v := range s {
+		if v < m {
+			m = v
+		}
+	}
+	if math.IsInf(m, 1) {
+		return 0
+	}
+	return m
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by nearest-rank on a sorted
+// copy, or 0 for an empty series.
+func (s Series) Quantile(q float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	sorted := s.Clone()
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+// Scale returns a copy with every value multiplied by f.
+func (s Series) Scale(f float64) Series {
+	out := s.Clone()
+	for i := range out {
+		out[i] *= f
+	}
+	return out
+}
+
+// HourOfWeekMeans folds the series into 168 hour-of-week buckets (hour 0 is
+// the series start) and returns the per-bucket means. Buckets never touched
+// get 0. This is the aggregation the paper's budgeter applies to two weeks
+// of workload history (paper §VI-B).
+func (s Series) HourOfWeekMeans() [168]float64 {
+	var sum, cnt [168]float64
+	for i, v := range s {
+		b := i % 168
+		sum[b] += v
+		cnt[b]++
+	}
+	var out [168]float64
+	for b := range out {
+		if cnt[b] > 0 {
+			out[b] = sum[b] / cnt[b]
+		}
+	}
+	return out
+}
+
+// WriteCSV writes the series as "hour,value" rows with a header line.
+func (s Series) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"hour", "value"}); err != nil {
+		return err
+	}
+	for i, v := range s {
+		if err := cw.Write([]string{strconv.Itoa(i), strconv.FormatFloat(v, 'g', -1, 64)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a series written by WriteCSV. Rows must be in hour order
+// starting at 0; the header is mandatory.
+func ReadCSV(r io.Reader) (Series, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("timeseries: %w", err)
+	}
+	if len(rows) == 0 || rows[0][0] != "hour" || rows[0][1] != "value" {
+		return nil, fmt.Errorf("timeseries: missing header row")
+	}
+	out := make(Series, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		h, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("timeseries: row %d: bad hour %q", i+1, row[0])
+		}
+		if h != i {
+			return nil, fmt.Errorf("timeseries: row %d: hour %d out of order", i+1, h)
+		}
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("timeseries: row %d: bad value %q", i+1, row[1])
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+package timeseries
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func near(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestStats(t *testing.T) {
+	s := Series{3, 1, 4, 1, 5}
+	if s.Sum() != 14 {
+		t.Errorf("Sum = %v", s.Sum())
+	}
+	if s.Mean() != 2.8 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.Max() != 5 || s.Min() != 1 {
+		t.Errorf("Max/Min = %v/%v", s.Max(), s.Min())
+	}
+	var empty Series
+	if empty.Mean() != 0 || empty.Max() != 0 || empty.Min() != 0 {
+		t.Errorf("empty stats not zero")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := Series{10, 20, 30, 40, 50}
+	if q := s.Quantile(0); q != 10 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := s.Quantile(1); q != 50 {
+		t.Errorf("q1 = %v", q)
+	}
+	if q := s.Quantile(0.5); q != 30 {
+		t.Errorf("median = %v", q)
+	}
+	if q := (Series{}).Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %v", q)
+	}
+}
+
+func TestScaleAndClone(t *testing.T) {
+	s := Series{1, 2}
+	c := s.Scale(3)
+	if c[0] != 3 || c[1] != 6 || s[0] != 1 {
+		t.Errorf("Scale mutated the receiver or miscomputed: %v %v", s, c)
+	}
+	cl := s.Clone()
+	cl[0] = 99
+	if s[0] == 99 {
+		t.Errorf("Clone aliases the receiver")
+	}
+}
+
+func TestHourOfWeekMeans(t *testing.T) {
+	// Two weeks: second week doubles the first → mean is 1.5× first week.
+	s := make(Series, 336)
+	for i := range s {
+		base := float64(i%168 + 1)
+		if i >= 168 {
+			base *= 2
+		}
+		s[i] = base
+	}
+	m := s.HourOfWeekMeans()
+	for b := 0; b < 168; b++ {
+		want := 1.5 * float64(b+1)
+		if !near(m[b], want, 1e-9) {
+			t.Fatalf("bucket %d = %v, want %v", b, m[b], want)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(50)
+		s := make(Series, n)
+		for i := range s {
+			s[i] = math.Floor(r.Float64()*1e9) / 1000
+		}
+		var buf bytes.Buffer
+		if err := s.WriteCSV(&buf); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(s) {
+			return false
+		}
+		for i := range s {
+			if got[i] != s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                            // no header
+		"a,b\n0,1\n",                  // wrong header
+		"hour,value\nx,1\n",           // bad hour
+		"hour,value\n1,1\n",           // out of order
+		"hour,value\n0,xyz\n",         // bad value
+		"hour,value\n0,1\n1,2\n3,3\n", // gap
+		"hour,value\n0,1,extra\n",     // wrong arity
+	}
+	for _, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}

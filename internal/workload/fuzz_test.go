@@ -1,0 +1,35 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadWikiBench checks the trace parser never panics and that accepted
+// traces have consistent shape.
+func FuzzReadWikiBench(f *testing.F) {
+	f.Add("1 1188000000.5 http://en.wikipedia.org/wiki/X -\n")
+	f.Add("# comment\n\n1 1188000000 u -\n2 1188003600 v -\n")
+	f.Add("1 notatime u -\n")
+	f.Add("1 1188007200 u -\n2 1188000000 v -\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		tr, err := ReadWikiBench(strings.NewReader(src), WikiBenchOptions{Scale: 1})
+		if err != nil {
+			return
+		}
+		if tr.Len() == 0 {
+			t.Fatal("accepted trace with zero hours")
+		}
+		total := 0.0
+		for i := 0; i < tr.Len(); i++ {
+			if tr.At(i) < 0 {
+				t.Fatalf("negative hourly rate at %d", i)
+			}
+			total += tr.At(i)
+		}
+		if total <= 0 {
+			t.Fatal("accepted trace with zero total requests")
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// wikiLines fabricates WikiBench-format lines: reqsPerHour requests in each
+// of the given consecutive hours starting at epoch hour 330000 (≈ Oct 2007).
+func wikiLines(reqsPerHour []int) string {
+	var b strings.Builder
+	counter := 0
+	const baseHour = 330000
+	for h, n := range reqsPerHour {
+		for k := 0; k < n; k++ {
+			counter++
+			epoch := float64((baseHour+h)*3600) + float64(k)*3599.0/float64(n+1)
+			fmt.Fprintf(&b, "%d %.3f http://en.wikipedia.org/wiki/Page%d -\n", counter, epoch, k)
+		}
+	}
+	return b.String()
+}
+
+func TestReadWikiBench(t *testing.T) {
+	in := wikiLines([]int{5, 3, 8})
+	tr, err := ReadWikiBench(strings.NewReader(in), WikiBenchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("hours = %d, want 3", tr.Len())
+	}
+	// The paper's ×10 sampling correction is the default scale.
+	want := []float64{50, 30, 80}
+	for h, w := range want {
+		if tr.At(h) != w {
+			t.Errorf("hour %d = %v, want %v", h, tr.At(h), w)
+		}
+	}
+}
+
+func TestReadWikiBenchCustomScale(t *testing.T) {
+	in := wikiLines([]int{4})
+	tr, err := ReadWikiBench(strings.NewReader(in), WikiBenchOptions{Scale: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.At(0) != 10 {
+		t.Errorf("scaled count = %v, want 10", tr.At(0))
+	}
+}
+
+func TestReadWikiBenchSkipsCommentsAndBlank(t *testing.T) {
+	in := "# header\n\n" + wikiLines([]int{2})
+	tr, err := ReadWikiBench(strings.NewReader(in), WikiBenchOptions{Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.At(0) != 2 {
+		t.Errorf("count = %v", tr.At(0))
+	}
+}
+
+func TestReadWikiBenchEmptyHoursInside(t *testing.T) {
+	// Hour 1 has zero requests: the bucket must exist with rate 0.
+	var b strings.Builder
+	b.WriteString("1 1188000000.5 http://x -\n") // hour H
+	b.WriteString("2 1188007200.1 http://y -\n") // hour H+2
+	tr, err := ReadWikiBench(strings.NewReader(b.String()), WikiBenchOptions{Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 || tr.At(1) != 0 {
+		t.Fatalf("trace = %v", tr.Rates)
+	}
+}
+
+func TestReadWikiBenchErrors(t *testing.T) {
+	cases := []string{
+		"",                        // empty
+		"1\n",                     // too few fields
+		"1 notatime http://x -\n", // bad timestamp
+		"1 -5 http://x -\n",       // nonpositive timestamp
+		"1 1188007200 http://x -\n1 1188000000 http://y -\n", // backwards
+	}
+	for _, in := range cases {
+		if _, err := ReadWikiBench(strings.NewReader(in), WikiBenchOptions{}); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+	// A gap beyond MaxGapHours is rejected.
+	gap := "1 1188000000 http://x -\n2 1188600000 http://y -\n" // ≈166 h apart
+	if _, err := ReadWikiBench(strings.NewReader(gap), WikiBenchOptions{MaxGapHours: 100}); err == nil {
+		t.Error("accepted a 166-hour gap")
+	}
+	if _, err := ReadWikiBench(strings.NewReader(wikiLines([]int{1})), WikiBenchOptions{Scale: -1}); err == nil {
+		t.Error("accepted negative scale")
+	}
+}

@@ -1,0 +1,166 @@
+// Package workload produces the hourly Internet-request arrival traces the
+// experiments run on.
+//
+// The paper replays a two-month Wikipedia.org trace (Oct–Nov 2007, 10 %
+// sample scaled ×10): a strongly diurnal, weekly-patterned series where
+// October serves as budgeting history and November as the evaluated month.
+// That trace is not redistributable, so Synthetic reconstructs its documented
+// structure — diurnal cycle, weekday/weekend pattern, slow growth, lognormal
+// noise — deterministically from a seed; real traces in the timeseries CSV
+// format load via timeseries.ReadCSV. The capping algorithms consume only
+// the hourly arrival rates, so the shape is what matters (see DESIGN.md).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"billcap/internal/timeseries"
+)
+
+// HoursPerWeek is the number of hourly slots in the weekly pattern.
+const HoursPerWeek = 168
+
+// Trace is an hourly arrival-rate series in requests per hour, starting at
+// hour 0 = Monday 00:00.
+type Trace struct {
+	Rates timeseries.Series
+}
+
+// Len returns the number of hours.
+func (t Trace) Len() int { return len(t.Rates) }
+
+// At returns the arrival rate of hour i.
+func (t Trace) At(i int) float64 { return t.Rates[i] }
+
+// Slice returns the sub-trace of hours [from, to).
+func (t Trace) Slice(from, to int) Trace {
+	return Trace{Rates: t.Rates[from:to].Clone()}
+}
+
+// GenConfig parameterizes the synthetic trace generator.
+type GenConfig struct {
+	// Seed drives the deterministic noise stream.
+	Seed int64
+	// Hours is the trace length; 2 months ≈ 1464.
+	Hours int
+	// BaseRate is the long-run mean arrival rate in requests/hour.
+	BaseRate float64
+	// DailyAmp in [0,1) is the relative amplitude of the diurnal cycle.
+	DailyAmp float64
+	// PeakHour in [0,24) is the local hour of the diurnal peak.
+	PeakHour float64
+	// WeekendDip in [0,1) multiplies weekend load by (1−WeekendDip).
+	WeekendDip float64
+	// GrowthPerWeek is the compounding weekly growth factor (e.g. 0.01).
+	GrowthPerWeek float64
+	// NoiseSigma is the σ of mean-one lognormal multiplicative noise.
+	NoiseSigma float64
+}
+
+// Validate reports the first configuration error.
+func (c GenConfig) Validate() error {
+	switch {
+	case c.Hours <= 0:
+		return fmt.Errorf("workload: Hours = %d", c.Hours)
+	case c.BaseRate <= 0:
+		return fmt.Errorf("workload: BaseRate = %v", c.BaseRate)
+	case c.DailyAmp < 0 || c.DailyAmp >= 1:
+		return fmt.Errorf("workload: DailyAmp = %v outside [0,1)", c.DailyAmp)
+	case c.WeekendDip < 0 || c.WeekendDip >= 1:
+		return fmt.Errorf("workload: WeekendDip = %v outside [0,1)", c.WeekendDip)
+	case c.NoiseSigma < 0:
+		return fmt.Errorf("workload: NoiseSigma = %v", c.NoiseSigma)
+	}
+	return nil
+}
+
+// DefaultWikipedia returns the generator configuration used by the
+// experiments: two months at the scale that loads the three paper sites to
+// the fleet utilization implied by the paper's dollar figures.
+func DefaultWikipedia() GenConfig {
+	return GenConfig{
+		Seed:          20071001, // trace epoch: Oct 1, 2007
+		Hours:         2 * 4 * HoursPerWeek,
+		BaseRate:      1.9e12,
+		DailyAmp:      0.45,
+		PeakHour:      20,
+		WeekendDip:    0.12,
+		GrowthPerWeek: 0.005,
+		NoiseSigma:    0.06,
+	}
+}
+
+// Synthetic generates a deterministic trace from the configuration.
+func Synthetic(c GenConfig) (Trace, error) {
+	if err := c.Validate(); err != nil {
+		return Trace{}, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	rates := make(timeseries.Series, c.Hours)
+	for h := 0; h < c.Hours; h++ {
+		hourOfDay := float64(h % 24)
+		day := (h / 24) % 7 // 0 = Monday
+		week := float64(h / HoursPerWeek)
+
+		diurnal := 1 + c.DailyAmp*math.Cos(2*math.Pi*(hourOfDay-c.PeakHour)/24)
+		weekly := 1.0
+		if day >= 5 {
+			weekly = 1 - c.WeekendDip
+		}
+		growth := math.Pow(1+c.GrowthPerWeek, week)
+		noise := 1.0
+		if c.NoiseSigma > 0 {
+			// Mean-one lognormal: exp(σZ − σ²/2).
+			noise = math.Exp(c.NoiseSigma*rng.NormFloat64() - c.NoiseSigma*c.NoiseSigma/2)
+		}
+		rates[h] = c.BaseRate * diurnal * weekly * growth * noise
+	}
+	return Trace{Rates: rates}, nil
+}
+
+// FlashCrowd describes a breaking-news event: load multiplied by up to Peak
+// over [StartHour, StartHour+Duration) with a linear ramp up and down (the
+// paper's motivating scenario for bill capping).
+type FlashCrowd struct {
+	StartHour int
+	Duration  int
+	Peak      float64 // multiplier at the center, ≥ 1
+}
+
+// Inject returns a copy of the trace with the flash crowd applied. Portions
+// outside the trace are ignored.
+func (t Trace) Inject(fc FlashCrowd) Trace {
+	out := Trace{Rates: t.Rates.Clone()}
+	if fc.Duration <= 0 || fc.Peak <= 1 {
+		return out
+	}
+	for i := 0; i < fc.Duration; i++ {
+		h := fc.StartHour + i
+		if h < 0 || h >= len(out.Rates) {
+			continue
+		}
+		// Triangular ramp peaking mid-event.
+		pos := float64(i) / float64(fc.Duration-1)
+		if fc.Duration == 1 {
+			pos = 0.5
+		}
+		shape := 1 - math.Abs(2*pos-1)
+		out.Rates[h] *= 1 + (fc.Peak-1)*shape
+	}
+	return out
+}
+
+// Split divides an arrival rate into premium and ordinary portions. The
+// paper assumes 80 % premium / 20 % ordinary (§VII-C).
+func Split(rate, premiumFrac float64) (premium, ordinary float64) {
+	if premiumFrac < 0 {
+		premiumFrac = 0
+	}
+	if premiumFrac > 1 {
+		premiumFrac = 1
+	}
+	premium = rate * premiumFrac
+	return premium, rate - premium
+}

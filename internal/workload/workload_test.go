@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	good := DefaultWikipedia()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	bad := []func(*GenConfig){
+		func(c *GenConfig) { c.Hours = 0 },
+		func(c *GenConfig) { c.BaseRate = 0 },
+		func(c *GenConfig) { c.DailyAmp = 1.0 },
+		func(c *GenConfig) { c.DailyAmp = -0.1 },
+		func(c *GenConfig) { c.WeekendDip = 1.0 },
+		func(c *GenConfig) { c.NoiseSigma = -1 },
+	}
+	for i, mut := range bad {
+		c := DefaultWikipedia()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	c := DefaultWikipedia()
+	a, err := Synthetic(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthetic(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != c.Hours || b.Len() != c.Hours {
+		t.Fatalf("lengths %d/%d, want %d", a.Len(), b.Len(), c.Hours)
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i) != b.At(i) {
+			t.Fatalf("hour %d differs between identical seeds", i)
+		}
+	}
+	c2 := c
+	c2.Seed++
+	d, _ := Synthetic(c2)
+	same := true
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i) != d.At(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestSyntheticShape(t *testing.T) {
+	c := DefaultWikipedia()
+	c.NoiseSigma = 0 // deterministic shape checks
+	tr, err := Synthetic(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diurnal: the peak hour beats the trough hour on every weekday.
+	peak := int(c.PeakHour)
+	trough := (peak + 12) % 24
+	for day := 0; day < 5; day++ {
+		if tr.At(day*24+peak) <= tr.At(day*24+trough) {
+			t.Errorf("day %d: peak %v not above trough %v",
+				day, tr.At(day*24+peak), tr.At(day*24+trough))
+		}
+	}
+	// Weekly: Saturday noon below Monday noon.
+	if tr.At(5*24+12) >= tr.At(12) {
+		t.Errorf("weekend dip missing: sat %v vs mon %v", tr.At(5*24+12), tr.At(12))
+	}
+	// Growth: same hour four weeks later is larger.
+	if tr.At(4*HoursPerWeek+12) <= tr.At(12) {
+		t.Errorf("growth missing")
+	}
+	// Everything positive.
+	for i := 0; i < tr.Len(); i++ {
+		if tr.At(i) <= 0 {
+			t.Fatalf("nonpositive rate at hour %d", i)
+		}
+	}
+}
+
+func TestInjectFlashCrowd(t *testing.T) {
+	c := DefaultWikipedia()
+	c.NoiseSigma = 0
+	tr, _ := Synthetic(c)
+	fc := FlashCrowd{StartHour: 100, Duration: 11, Peak: 3}
+	out := tr.Inject(fc)
+	// Center hour multiplied by the full peak.
+	center := 105
+	if !closeRel(out.At(center), 3*tr.At(center), 1e-9) {
+		t.Errorf("center %v, want 3× base %v", out.At(center), tr.At(center))
+	}
+	// Edges barely changed, outside untouched.
+	if out.At(99) != tr.At(99) || out.At(111) != tr.At(111) {
+		t.Errorf("hours outside the event changed")
+	}
+	if out.At(100) != tr.At(100) {
+		t.Errorf("ramp start should be ×1, got %v vs %v", out.At(100), tr.At(100))
+	}
+	// Original untouched.
+	if tr.At(center) == out.At(center) {
+		t.Errorf("Inject mutated the receiver")
+	}
+	// Degenerate events are no-ops.
+	same := tr.Inject(FlashCrowd{StartHour: 5, Duration: 0, Peak: 9})
+	if same.At(5) != tr.At(5) {
+		t.Errorf("zero-duration event changed the trace")
+	}
+	one := tr.Inject(FlashCrowd{StartHour: 7, Duration: 1, Peak: 2})
+	if !closeRel(one.At(7), 2*tr.At(7), 1e-9) {
+		t.Errorf("single-hour event: %v, want 2× %v", one.At(7), tr.At(7))
+	}
+}
+
+func TestInjectOutOfRangeIgnored(t *testing.T) {
+	c := DefaultWikipedia()
+	c.Hours = 24
+	tr, _ := Synthetic(c)
+	out := tr.Inject(FlashCrowd{StartHour: 20, Duration: 10, Peak: 2})
+	if out.Len() != 24 {
+		t.Fatalf("length changed")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	p, o := Split(100, 0.8)
+	if p != 80 || o != 20 {
+		t.Errorf("Split = %v/%v, want 80/20", p, o)
+	}
+	p, o = Split(100, -1)
+	if p != 0 || o != 100 {
+		t.Errorf("clamped low Split = %v/%v", p, o)
+	}
+	p, o = Split(100, 2)
+	if p != 100 || o != 0 {
+		t.Errorf("clamped high Split = %v/%v", p, o)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	c := DefaultWikipedia()
+	tr, _ := Synthetic(c)
+	sub := tr.Slice(10, 20)
+	if sub.Len() != 10 || sub.At(0) != tr.At(10) {
+		t.Errorf("Slice wrong: len %d first %v", sub.Len(), sub.At(0))
+	}
+	sub.Rates[0] = -1
+	if tr.At(10) == -1 {
+		t.Errorf("Slice aliases the parent trace")
+	}
+}
+
+func closeRel(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(b))
+}
