@@ -6,20 +6,29 @@
 //
 //	capperd -addr :8080 -variant 1
 //
-// Endpoints: GET /healthz, GET /v1/sites, GET /v1/policies,
-// POST /v1/decide, POST /v1/realize. Example:
+// Endpoints: GET /healthz, GET /metrics, GET /debug/pprof/, GET /v1/sites,
+// GET /v1/policies, POST /v1/decide, POST /v1/realize, POST /v1/model.
+// Example:
 //
 //	curl -s localhost:8080/v1/decide -d '{
 //	  "totalLambda": 1.5e12, "premiumLambda": 1.2e12,
 //	  "demandMW": [170, 190, 150], "budgetUSD": 900
 //	}'
+//
+// The daemon exports Prometheus metrics on /metrics, runtime profiling on
+// /debug/pprof/, and drains in-flight decisions on SIGINT/SIGTERM before
+// exiting.
 package main
 
 import (
+	"context"
 	"flag"
-	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"billcap/internal/api"
@@ -32,6 +41,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	variant := flag.Int("variant", 1, "pricing policy variant (0-3)")
 	sites := flag.Int("sites", 3, "number of data centers (3 = the paper's; more = synthetic)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown timeout for in-flight requests")
 	flag.Parse()
 
 	if *variant < 0 || *variant > 3 {
@@ -51,11 +61,36 @@ func main() {
 		log.Fatalf("capperd: %v", err)
 	}
 	hs := &http.Server{
-		Addr:         *addr,
-		Handler:      srv.Handler(),
-		ReadTimeout:  10 * time.Second,
-		WriteTimeout: 30 * time.Second,
+		Handler:     srv.Handler(),
+		ReadTimeout: 10 * time.Second,
+		// Long enough for /debug/pprof/profile's default 30 s CPU window.
+		WriteTimeout: 60 * time.Second,
 	}
-	fmt.Printf("capperd: %d sites, %v, listening on %s\n", len(dcs), pricing.PolicyVariant(*variant), *addr)
-	log.Fatal(hs.ListenAndServe())
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("capperd: listen: %v", err)
+	}
+	log.Printf("capperd: %d sites, %v, listening on %s", len(dcs), pricing.PolicyVariant(*variant), ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("capperd: serve: %v", err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills immediately
+		log.Printf("capperd: shutdown signal, draining for up to %v", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("capperd: drain timed out: %v", err)
+			_ = hs.Close()
+			os.Exit(1)
+		}
+		log.Printf("capperd: drained, bye")
+	}
 }

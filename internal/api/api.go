@@ -4,12 +4,17 @@
 //
 // Endpoints:
 //
-//	GET  /healthz      liveness
-//	GET  /v1/sites     site inventory (capacity, caps, market)
-//	GET  /v1/policies  locational pricing policies
-//	POST /v1/decide    one hour's two-step capping decision
-//	POST /v1/realize   ground-truth billing of an allocation
-//	POST /v1/model     dump the hour's MILP in lp_solve-style text
+//	GET  /healthz       liveness
+//	GET  /metrics       Prometheus text exposition (controller + HTTP metrics)
+//	GET  /debug/pprof/  runtime profiling (CPU, heap, goroutines, …)
+//	GET  /v1/sites      site inventory (capacity, caps, market)
+//	GET  /v1/policies   locational pricing policies
+//	POST /v1/decide     one hour's two-step capping decision
+//	POST /v1/realize    ground-truth billing of an allocation
+//	POST /v1/model      dump the hour's MILP in lp_solve-style text
+//
+// All errors — including 404s and oversized bodies — use one JSON envelope:
+// {"error": "..."}.
 package api
 
 import (
@@ -19,11 +24,17 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/http/pprof"
 
 	"billcap/internal/core"
 	"billcap/internal/dcmodel"
+	"billcap/internal/obs"
 	"billcap/internal/pricing"
 )
+
+// maxBodyBytes caps POST request bodies; the control payloads are a few
+// hundred bytes, so 1 MiB is generous headroom against abuse.
+const maxBodyBytes = 1 << 20
 
 // Server handles the control API for one system.
 type Server struct {
@@ -31,26 +42,53 @@ type Server struct {
 	sites    []*dcmodel.Site
 	policies []pricing.Policy
 	mux      *http.ServeMux
+	reg      *obs.Registry
+	metrics  *httpMetrics
 }
 
-// New builds the server over an assembled system.
+// New builds the server over an assembled system, instrumented on a fresh
+// metrics registry (see Registry).
 func New(dcs []*dcmodel.Site, policies []pricing.Policy, opts core.Options) (*Server, error) {
 	sys, err := core.NewSystem(dcs, policies, opts)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{sys: sys, sites: dcs, policies: policies, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/healthz", s.handleHealth)
-	s.mux.HandleFunc("/v1/sites", s.handleSites)
-	s.mux.HandleFunc("/v1/policies", s.handlePolicies)
-	s.mux.HandleFunc("/v1/decide", s.handleDecide)
-	s.mux.HandleFunc("/v1/realize", s.handleRealize)
-	s.mux.HandleFunc("/v1/model", s.handleModel)
+	reg := obs.NewRegistry()
+	sys.SetMetrics(core.NewMetrics(reg))
+	s := &Server{
+		sys: sys, sites: dcs, policies: policies,
+		mux: http.NewServeMux(), reg: reg, metrics: newHTTPMetrics(reg),
+	}
+	s.handle("/healthz", s.handleHealth)
+	s.handle("/v1/sites", s.handleSites)
+	s.handle("/v1/policies", s.handlePolicies)
+	s.handle("/v1/decide", s.handleDecide)
+	s.handle("/v1/realize", s.handleRealize)
+	s.handle("/v1/model", s.handleModel)
+	s.handle("/metrics", obs.Handler(reg).ServeHTTP)
+	// Profiling surface, on the explicit handlers (not DefaultServeMux).
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	// Everything unmatched gets the JSON error envelope instead of the
+	// mux's plain-text 404.
+	s.handle("/", s.handleNotFound)
 	return s, nil
+}
+
+// handle registers a route wrapped in the counting/timing middleware.
+func (s *Server) handle(route string, h http.HandlerFunc) {
+	s.mux.HandleFunc(route, s.metrics.instrument(route, h))
 }
 
 // Handler returns the HTTP handler (for http.Server or tests).
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the server's metrics registry so the daemon (or an
+// embedding test) can add process-level series next to the controller's.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 type errorBody struct {
 	Error string `json:"error"`
@@ -66,6 +104,28 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// readJSON decodes a capped request body into v. On failure it writes the
+// JSON error envelope (413 for oversized bodies, 400 otherwise) and
+// reports false.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeErr(w, http.StatusNotFound, fmt.Errorf("no such endpoint %s", r.URL.Path))
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -164,6 +224,9 @@ type DecideResponse struct {
 	Sites            []SiteDecision `json:"sites"`
 	SolverNodes      int            `json:"solverNodes"`
 	SolverSolves     int            `json:"solverSolves"`
+	SolverPivots     int            `json:"solverPivots"`
+	SolverIncumbents int            `json:"solverIncumbents"`
+	SolverWallMS     float64        `json:"solverWallMS"`
 }
 
 func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
@@ -172,8 +235,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req DecideRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	if !readJSON(w, r, &req) {
 		return
 	}
 	in := core.HourInput{
@@ -202,6 +264,9 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		PredictedCostUSD: dec.PredictedCostUSD,
 		SolverNodes:      dec.Solver.Nodes,
 		SolverSolves:     dec.Solver.Solves,
+		SolverPivots:     dec.Solver.Pivots,
+		SolverIncumbents: dec.Solver.Incumbents,
+		SolverWallMS:     float64(dec.Solver.WallTime.Microseconds()) / 1e3,
 	}
 	for i, a := range dec.Sites {
 		resp.Sites = append(resp.Sites, SiteDecision{
@@ -225,8 +290,7 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req DecideRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	if !readJSON(w, r, &req) {
 		return
 	}
 	in := core.HourInput{
@@ -281,8 +345,7 @@ func (s *Server) handleRealize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req RealizeRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	if !readJSON(w, r, &req) {
 		return
 	}
 	real, err := s.sys.Realize(req.Lambdas, req.DemandMW)

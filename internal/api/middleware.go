@@ -1,0 +1,62 @@
+package api
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"billcap/internal/obs"
+)
+
+// httpMetrics instruments every API endpoint: request counts by route,
+// method and status, latency histograms by route, and an in-flight gauge.
+type httpMetrics struct {
+	requests *obs.CounterVec   // route, method, code
+	seconds  *obs.HistogramVec // route
+	inflight *obs.Gauge
+}
+
+func newHTTPMetrics(reg *obs.Registry) *httpMetrics {
+	return &httpMetrics{
+		requests: reg.CounterVec("billcap_http_requests_total",
+			"API requests by route, method and status code.", "route", "method", "code"),
+		seconds: reg.HistogramVec("billcap_http_request_seconds",
+			"API request latency in seconds by route.", obs.DefBuckets, "route"),
+		inflight: reg.Gauge("billcap_http_inflight_requests", "API requests currently being served."),
+	}
+}
+
+// statusWriter remembers the status code a handler sent.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with the per-route middleware. The route label
+// is the registered pattern, not the raw URL, so cardinality stays bounded.
+func (m *httpMetrics) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		m.inflight.Inc()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		m.inflight.Dec()
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		m.requests.With(route, r.Method, strconv.Itoa(sw.status)).Inc()
+		m.seconds.With(route).Observe(time.Since(start).Seconds())
+	}
+}

@@ -17,11 +17,13 @@ const HoursPerWeek = 168
 // Budgeter tracks the monthly budget across the invocation periods of one
 // budgeting period (a month of hourly slots).
 type Budgeter struct {
-	monthly float64
-	shares  timeseries.Series // per-hour base allocation, sums to monthly
-	pool    float64           // carryover within the current week (may be negative after a mandatory overrun)
-	next    int               // next hour to be recorded
-	spent   float64
+	monthly    float64
+	shares     timeseries.Series // per-hour base allocation, sums to monthly
+	pool       float64           // carryover within the current week (may be negative after a mandatory overrun)
+	next       int               // next hour to be recorded
+	spent      float64
+	violations int      // hours whose spend exceeded their available budget
+	metrics    *Metrics // optional gauges (see SetMetrics)
 }
 
 // New builds a budgeter for the given monthly budget and the predicted
@@ -90,14 +92,30 @@ func (b *Budgeter) Record(spentUSD float64) error {
 	if spentUSD < 0 {
 		return fmt.Errorf("budget: negative spend %v", spentUSD)
 	}
+	if spentUSD > b.HourlyBudget()*(1+1e-9)+1e-6 {
+		b.violations++
+		if b.metrics != nil {
+			b.metrics.violations.Inc()
+		}
+	}
 	b.pool += b.Share(b.next) - spentUSD
 	b.spent += spentUSD
 	b.next++
 	if b.next%HoursPerWeek == 0 {
 		b.pool = 0
 	}
+	b.metrics.sync(b)
 	return nil
 }
+
+// Pool returns the current within-week carryover (negative after a
+// mandatory premium overrun).
+func (b *Budgeter) Pool() float64 { return b.pool }
+
+// Violations counts hours whose realized spend exceeded the budget
+// available to them — expected only when mandatory premium service forces
+// an overrun (paper §V-B).
+func (b *Budgeter) Violations() int { return b.violations }
 
 // Hour returns the index of the next hour to be recorded.
 func (b *Budgeter) Hour() int { return b.next }

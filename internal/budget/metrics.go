@@ -1,0 +1,60 @@
+package budget
+
+import "billcap/internal/obs"
+
+// Metrics exposes the budgeter's carry-forward ledger (paper §III) as
+// gauges: how much carryover the week holds, how much of the month is
+// spent, and how often hours overran their allocation. Attach with
+// SetMetrics; Record then keeps the gauges current.
+type Metrics struct {
+	hourly      *obs.Gauge
+	pool        *obs.Gauge
+	spent       *obs.Gauge
+	remaining   *obs.Gauge
+	utilization *obs.Gauge
+	hours       *obs.Counter
+	violations  *obs.Counter
+}
+
+// NewMetrics registers the budget metrics on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		hourly: reg.Gauge("billcap_budget_hourly_usd",
+			"Budget available to the next invocation hour (share plus carryover)."),
+		pool: reg.Gauge("billcap_budget_pool_usd",
+			"Within-week carry-forward pool; negative after a mandatory overrun."),
+		spent:     reg.Gauge("billcap_budget_spent_usd", "Cumulative realized spend this budgeting period."),
+		remaining: reg.Gauge("billcap_budget_remaining_usd", "Monthly budget minus cumulative spend."),
+		utilization: reg.Gauge("billcap_budget_utilization_ratio",
+			"Spend as a fraction of the monthly budget."),
+		hours: reg.Counter("billcap_budget_hours_total", "Invocation hours recorded into the ledger."),
+		violations: reg.Counter("billcap_budget_violation_hours_total",
+			"Hours whose realized spend exceeded their available budget."),
+	}
+}
+
+// SetMetrics attaches (or, with nil, detaches) gauges and seeds them with
+// the current ledger state. Not safe to call concurrently with Record.
+func (b *Budgeter) SetMetrics(m *Metrics) {
+	b.metrics = m
+	if m != nil {
+		m.set(b)
+	}
+}
+
+// sync is called once per recorded hour.
+func (m *Metrics) sync(b *Budgeter) {
+	if m == nil {
+		return
+	}
+	m.hours.Inc()
+	m.set(b)
+}
+
+func (m *Metrics) set(b *Budgeter) {
+	m.hourly.Set(b.HourlyBudget())
+	m.pool.Set(b.Pool())
+	m.spent.Set(b.Spent())
+	m.remaining.Set(b.Remaining())
+	m.utilization.Set(b.Utilization())
+}

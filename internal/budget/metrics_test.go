@@ -1,0 +1,70 @@
+package budget
+
+import (
+	"strings"
+	"testing"
+
+	"billcap/internal/obs"
+	"billcap/internal/timeseries"
+)
+
+func TestLedgerObservability(t *testing.T) {
+	b, err := New(100, timeseries.Series{1, 1, 1, 1}) // 25 $/h shares
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	b.SetMetrics(NewMetrics(reg))
+
+	if err := b.Record(10); err != nil { // 15 under → pool +15
+		t.Fatal(err)
+	}
+	if got := b.Pool(); got != 15 {
+		t.Fatalf("pool = %v, want 15", got)
+	}
+	if b.Violations() != 0 {
+		t.Fatalf("violations = %d, want 0", b.Violations())
+	}
+	// Hour 2 has 25+15=40 available; spending 50 is a violation.
+	if err := b.Record(50); err != nil {
+		t.Fatal(err)
+	}
+	if b.Violations() != 1 {
+		t.Fatalf("violations = %d, want 1", b.Violations())
+	}
+	if got := b.Pool(); got != -10 {
+		t.Fatalf("pool = %v, want -10", got)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"billcap_budget_hours_total 2",
+		"billcap_budget_violation_hours_total 1",
+		"billcap_budget_pool_usd -10",
+		"billcap_budget_spent_usd 60",
+		"billcap_budget_remaining_usd 40",
+		"billcap_budget_hourly_usd 15", // hour 3: share 25 + pool −10
+		"billcap_budget_utilization_ratio 0.6",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLedgerNoMetricsStillCounts(t *testing.T) {
+	b, err := New(10, timeseries.Series{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Record(9); err != nil { // available 5 → violation
+		t.Fatal(err)
+	}
+	if b.Violations() != 1 {
+		t.Fatalf("violations = %d, want 1", b.Violations())
+	}
+}

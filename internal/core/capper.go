@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"math"
+	"time"
 )
 
 // budgetSlack absorbs floating-point noise when comparing a predicted cost
@@ -21,7 +22,20 @@ const budgetSlack = 1e-6
 //
 // Arrivals beyond fleet capacity are handled by serving the maximum
 // carryable load (StepOverCapacity).
+//
+// When metrics are attached (SetMetrics), every call records its branch,
+// latency and MILP effort.
 func (s *System) DecideHour(in HourInput) (Decision, error) {
+	if s.metrics == nil {
+		return s.decideHour(in)
+	}
+	start := time.Now()
+	dec, err := s.decideHour(in)
+	s.metrics.observe(s, dec, err, time.Since(start))
+	return dec, err
+}
+
+func (s *System) decideHour(in HourInput) (Decision, error) {
 	if err := s.ValidateInput(in); err != nil {
 		return Decision{}, err
 	}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"time"
+
+	"billcap/internal/obs"
+)
+
+// Metrics is the controller's instrumentation bundle over an obs.Registry.
+// Attach it to a System with SetMetrics; every DecideHour then records its
+// branch, latency, MILP effort and constraint posture. One bundle can be
+// shared by several Systems over the same registry (the metrics are
+// concurrency-safe), which is how a fleet of per-group cappers reports to
+// one scrape endpoint.
+type Metrics struct {
+	decideTotal   *obs.Counter
+	decideErrors  *obs.Counter
+	decideStep    *obs.CounterVec
+	decideSeconds *obs.Histogram
+
+	milpSolves     *obs.Counter
+	milpNodes      *obs.Counter
+	milpPivots     *obs.Counter
+	milpIncumbents *obs.Counter
+	milpSeconds    *obs.Histogram
+
+	predictedCost *obs.Gauge
+	servedLambda  *obs.Gauge
+	budgetBinding *obs.Gauge
+	sitesOn       *obs.Gauge
+	sitesAtCap    *obs.Gauge
+}
+
+// NewMetrics registers the controller metrics on reg. Step counters are
+// pre-created at zero so a scrape sees every branch of the algorithm from
+// the first sample on.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	m := &Metrics{
+		decideTotal:  reg.Counter("billcap_decide_total", "Two-step capping decisions taken."),
+		decideErrors: reg.Counter("billcap_decide_errors_total", "Decisions that returned an error."),
+		decideStep: reg.CounterVec("billcap_decide_step_total",
+			"Decisions by algorithm branch (paper §IV–§V).", "step"),
+		decideSeconds: reg.Histogram("billcap_decide_seconds",
+			"End-to-end DecideHour latency in seconds.", obs.DefBuckets),
+
+		milpSolves: reg.Counter("billcap_milp_solves_total", "MILP solves issued by the two-step algorithm."),
+		milpNodes:  reg.Counter("billcap_milp_nodes_total", "Branch-and-bound nodes explored."),
+		milpPivots: reg.Counter("billcap_milp_pivots_total", "Simplex pivots across all LP relaxations."),
+		milpIncumbents: reg.Counter("billcap_milp_incumbents_total",
+			"Incumbent improvements found during branch-and-bound."),
+		milpSeconds: reg.Histogram("billcap_milp_seconds",
+			"Wall time spent inside MILP solves per decision, seconds.", obs.DefBuckets),
+
+		predictedCost: reg.Gauge("billcap_decide_predicted_cost_usd",
+			"Predicted electricity cost of the last decision."),
+		servedLambda: reg.Gauge("billcap_decide_served_lambda",
+			"Admitted requests/hour of the last decision."),
+		budgetBinding: reg.Gauge("billcap_decide_budget_binding",
+			"1 when the last decision was budget- or capacity-constrained (any branch but cost-min)."),
+		sitesOn: reg.Gauge("billcap_decide_sites_on", "Sites powered on in the last decision."),
+		sitesAtCap: reg.Gauge("billcap_decide_sites_at_power_cap",
+			"Sites whose planned draw sits within rounding slack of the supplier power cap."),
+	}
+	for st := StepCostMin; st <= StepOverCapacity; st++ {
+		m.decideStep.With(st.String())
+	}
+	return m
+}
+
+// SetMetrics attaches (or, with nil, detaches) instrumentation to the
+// system. Not safe to call concurrently with DecideHour.
+func (s *System) SetMetrics(m *Metrics) { s.metrics = m }
+
+// observe records one DecideHour outcome.
+func (m *Metrics) observe(s *System, dec Decision, err error, elapsed time.Duration) {
+	m.decideTotal.Inc()
+	m.decideSeconds.Observe(elapsed.Seconds())
+	if err != nil {
+		m.decideErrors.Inc()
+		return
+	}
+	m.decideStep.With(dec.Step.String()).Inc()
+	m.milpSolves.Add(float64(dec.Solver.Solves))
+	m.milpNodes.Add(float64(dec.Solver.Nodes))
+	m.milpPivots.Add(float64(dec.Solver.Pivots))
+	m.milpIncumbents.Add(float64(dec.Solver.Incumbents))
+	m.milpSeconds.Observe(dec.Solver.WallTime.Seconds())
+
+	m.predictedCost.Set(dec.PredictedCostUSD)
+	m.servedLambda.Set(dec.Served)
+	binding := 0.0
+	if dec.Step != StepCostMin {
+		binding = 1
+	}
+	m.budgetBinding.Set(binding)
+	on, atCap := 0, 0
+	for i, a := range dec.Sites {
+		if !a.On {
+			continue
+		}
+		on++
+		dc := s.Sites[i].DC
+		if a.PowerMW >= dc.PowerCapMW-dc.RoundingSlackMW() {
+			atCap++
+		}
+	}
+	m.sitesOn.Set(float64(on))
+	m.sitesAtCap.Set(float64(atCap))
+}

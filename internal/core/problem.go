@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"billcap/internal/lp"
 	"billcap/internal/lpparse"
@@ -20,15 +21,30 @@ var ErrInfeasible = errors.New("core: no feasible allocation")
 // SolverStats aggregates branch-and-bound effort across the MILP solves of
 // one decision.
 type SolverStats struct {
-	Solves int
-	Nodes  int
-	Pivots int
+	Solves     int
+	Nodes      int
+	Pivots     int
+	Incumbents int
+	// WallTime is the wall-clock time spent inside MILP solves.
+	WallTime time.Duration
 }
 
 func (st *SolverStats) add(sol milp.Solution) {
 	st.Solves++
 	st.Nodes += sol.Nodes
 	st.Pivots += sol.Pivots
+	st.Incumbents += sol.Incumbents
+	st.WallTime += sol.Elapsed
+}
+
+// Accumulate folds another decision's stats into st (simulators and
+// hierarchical coordinators sum effort across many decisions).
+func (st *SolverStats) Accumulate(o SolverStats) {
+	st.Solves += o.Solves
+	st.Nodes += o.Nodes
+	st.Pivots += o.Pivots
+	st.Incumbents += o.Incumbents
+	st.WallTime += o.WallTime
 }
 
 // SiteAlloc is the optimizer's plan for one site in one hour.

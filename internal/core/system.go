@@ -96,8 +96,9 @@ type siteModel struct {
 type System struct {
 	Sites []Site
 
-	opts   Options
-	models []siteModel
+	opts    Options
+	models  []siteModel
+	metrics *Metrics // optional instrumentation (see SetMetrics)
 }
 
 // NewSystem validates and assembles a system with the given optimizer

@@ -250,9 +250,7 @@ func (c *Coordinator) DecideHour(in core.HourInput) (Decision, error) {
 		dec.Served += gd.Served
 		dec.ServedPremium += gd.ServedPremium
 		dec.ServedOrdinary += gd.ServedOrdinary
-		stats.Solves += gd.Solver.Solves
-		stats.Nodes += gd.Solver.Nodes
-		stats.Pivots += gd.Solver.Pivots
+		stats.Accumulate(gd.Solver)
 	}
 	dec.Solver = stats
 	return dec, nil

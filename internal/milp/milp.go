@@ -11,6 +11,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"time"
 
 	"billcap/internal/lp"
 )
@@ -92,12 +93,14 @@ func (s Status) String() string {
 
 // Solution is the result of a branch-and-bound run.
 type Solution struct {
-	Status    Status
-	X         []float64 // incumbent (integral entries exactly rounded)
-	Objective float64   // objective of X in the problem's own direction
-	Nodes     int       // branch-and-bound nodes explored
-	Pivots    int       // total simplex pivots across all LP relaxations
-	Gap       float64   // |bound − incumbent| remaining at stop (0 when Optimal)
+	Status     Status
+	X          []float64     // incumbent (integral entries exactly rounded)
+	Objective  float64       // objective of X in the problem's own direction
+	Nodes      int           // branch-and-bound nodes explored
+	Pivots     int           // total simplex pivots across all LP relaxations
+	Incumbents int           // times the incumbent improved during the search
+	Elapsed    time.Duration // wall time of the solve
+	Gap        float64       // |bound − incumbent| remaining at stop (0 when Optimal)
 }
 
 // Options tune the search. The zero value uses defaults suitable for the
@@ -143,6 +146,13 @@ func (p *Problem) Solve() Solution { return p.SolveWithOptions(Options{}) }
 
 // SolveWithOptions is Solve with explicit options.
 func (p *Problem) SolveWithOptions(opt Options) Solution {
+	start := time.Now()
+	sol := p.solveWithOptions(opt)
+	sol.Elapsed = time.Since(start)
+	return sol
+}
+
+func (p *Problem) solveWithOptions(opt Options) Solution {
 	if opt.MaxNodes == 0 {
 		opt.MaxNodes = 200000
 	}
@@ -161,6 +171,7 @@ func (p *Problem) SolveWithOptions(opt Options) Solution {
 	var (
 		incumbent    []float64
 		incumbentObj = math.Inf(1) // minimization sense
+		incumbents   int           // incumbent improvements (exposed for observability)
 		nodes, piv   int
 		h            nodeHeap
 	)
@@ -202,6 +213,7 @@ func (p *Problem) SolveWithOptions(opt Options) Solution {
 			// Integer feasible: new incumbent.
 			incumbentObj = bound
 			incumbent = roundIntegral(sol.X, p.integer)
+			incumbents++
 			return
 		}
 		heap.Push(&h, &node{bound: bound, bounds: bs, sol: sol})
@@ -210,7 +222,9 @@ func (p *Problem) SolveWithOptions(opt Options) Solution {
 
 	for h.Len() > 0 {
 		if nodes >= opt.MaxNodes {
-			return p.finish(Limit, incumbent, incumbentObj, sign, nodes, piv, h)
+			s := p.finish(Limit, incumbent, incumbentObj, sign, nodes, piv, h)
+			s.Incumbents = incumbents
+			return s
 		}
 		it := heap.Pop(&h).(*node)
 		if it.bound >= incumbentObj-opt.Gap {
@@ -226,6 +240,7 @@ func (p *Problem) SolveWithOptions(opt Options) Solution {
 			if b := sign * sol.Objective; b < incumbentObj {
 				incumbentObj = b
 				incumbent = roundIntegral(sol.X, p.integer)
+				incumbents++
 			}
 			continue
 		}
@@ -252,11 +267,12 @@ func (p *Problem) SolveWithOptions(opt Options) Solution {
 		return Solution{Status: Infeasible, Nodes: nodes, Pivots: piv}
 	}
 	return Solution{
-		Status:    Optimal,
-		X:         incumbent,
-		Objective: sign * incumbentObj,
-		Nodes:     nodes,
-		Pivots:    piv,
+		Status:     Optimal,
+		X:          incumbent,
+		Objective:  sign * incumbentObj,
+		Nodes:      nodes,
+		Pivots:     piv,
+		Incumbents: incumbents,
 	}
 }
 

@@ -1,0 +1,39 @@
+package milp
+
+import (
+	"testing"
+
+	"billcap/internal/lp"
+)
+
+// TestSolveReportsEffort checks the observability fields of a solve: a
+// branched problem must report at least one incumbent improvement and a
+// measured wall time.
+func TestSolveReportsEffort(t *testing.T) {
+	// max x + y with binaries coupled so the relaxation is fractional:
+	// 2x + 2y ≤ 3 forces branching.
+	p := NewProblem()
+	x := p.AddBinVar("x", 0)
+	y := p.AddBinVar("y", 0)
+	p.AddConstraint([]lp.Term{{Var: x, Coef: 2}, {Var: y, Coef: 2}}, lp.LE, 3)
+	p.SetMaximize(true)
+	p.SetObjectiveCoef(x, 1)
+	p.SetObjectiveCoef(y, 1)
+
+	sol := p.Solve()
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if sol.Objective != 1 {
+		t.Fatalf("objective = %v, want 1", sol.Objective)
+	}
+	if sol.Incumbents < 1 {
+		t.Errorf("incumbents = %d, want ≥ 1", sol.Incumbents)
+	}
+	if sol.Elapsed <= 0 {
+		t.Errorf("elapsed = %v, want > 0", sol.Elapsed)
+	}
+	if sol.Nodes < 2 {
+		t.Errorf("nodes = %d, want branching to have happened", sol.Nodes)
+	}
+}

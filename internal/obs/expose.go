@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format (version 0.0.4), families sorted by name and children by label
+// block, so output is deterministic and diffable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if err := f.write(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func (f *family) write(w *bufio.Writer) error {
+	f.mu.RLock()
+	children := make([]*child, 0, len(f.children))
+	for _, c := range f.children {
+		children = append(children, c)
+	}
+	f.mu.RUnlock()
+	if len(children) == 0 {
+		return nil
+	}
+	sort.Slice(children, func(i, j int) bool { return children[i].labels < children[j].labels })
+
+	if f.help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.k)
+	for _, c := range children {
+		switch m := c.metric.(type) {
+		case *Counter:
+			fmt.Fprintf(w, "%s%s %s\n", f.name, c.labels, formatFloat(m.Value()))
+		case *Gauge:
+			fmt.Fprintf(w, "%s%s %s\n", f.name, c.labels, formatFloat(m.Value()))
+		case *Histogram:
+			cum := uint64(0)
+			for i, upper := range m.uppers {
+				cum += m.counts[i].Load()
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+					mergeLabel(c.labels, "le", formatFloat(upper)), cum)
+			}
+			// The +Inf bucket reports the Count gauge, not cum+overflow:
+			// a concurrent Observe may have bumped a bucket we already
+			// passed, and Prometheus requires bucket ≤ count monotonicity.
+			total := m.Count()
+			if cum > total {
+				total = cum
+			}
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, mergeLabel(c.labels, "le", "+Inf"), total)
+			fmt.Fprintf(w, "%s_sum%s %s\n", f.name, c.labels, formatFloat(m.Sum()))
+			fmt.Fprintf(w, "%s_count%s %d\n", f.name, c.labels, total)
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry at GET /metrics.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// renderLabels builds the canonical `{k="v",…}` block ("" when unlabeled).
+func renderLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// mergeLabel inserts one more label pair into an already-rendered block
+// (used for the histogram `le` label).
+func mergeLabel(block, name, value string) string {
+	pair := name + `="` + escapeLabel(value) + `"`
+	if block == "" {
+		return "{" + pair + "}"
+	}
+	return block[:len(block)-1] + "," + pair + "}"
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

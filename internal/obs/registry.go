@@ -1,0 +1,296 @@
+// Package obs is the repository's zero-dependency observability substrate:
+// a concurrency-safe metrics registry (counters, gauges, fixed-bucket
+// histograms, optionally labeled) with Prometheus text-format exposition,
+// and a structured per-decision trace emitted as JSON lines.
+//
+// It exists so the controller stops being a black box: the MILP
+// branch-and-bound, the two-step capping decision (paper §IV–§V) and the
+// budgeter's carry-forward ledger (§III) all report through this package,
+// and capperd serves the result on GET /metrics. Everything is standard
+// library only.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value. All methods are safe for
+// concurrent use.
+type Counter struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter. Negative deltas are a programming error and
+// panic: a counter that can go down is a gauge.
+func (c *Counter) Add(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		panic(fmt.Sprintf("obs: counter add %v", v))
+	}
+	addFloat(&c.bits, v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is an instantaneous value that can go up and down. All methods are
+// safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Set overwrites the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the value by v (negative allowed).
+func (g *Gauge) Add(v float64) { addFloat(&g.bits, v) }
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// addFloat is a lock-free float64 accumulator over atomic bits.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Histogram counts observations into fixed buckets (cumulative at
+// exposition time, like Prometheus). All methods are safe for concurrent
+// use.
+type Histogram struct {
+	uppers []float64       // strictly increasing upper bounds; +Inf implicit
+	counts []atomic.Uint64 // len(uppers)+1, last = overflow
+	sum    atomic.Uint64   // float64 bits
+	count  atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.uppers, v) // first bucket with upper ≥ v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	addFloat(&h.sum, v)
+}
+
+// Sum returns the running total of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// DefBuckets are latency-shaped default buckets in seconds (5 ms – 10 s),
+// matching the Prometheus client default.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// ExpBuckets returns n strictly increasing buckets starting at start and
+// growing by factor: {start, start·f, …, start·fⁿ⁻¹}.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("obs: exp buckets (%v, %v, %d)", start, factor, n))
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// kind discriminates metric families.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// child is one labeled instance of a family. labels is the pre-rendered
+// `{k="v",…}` block ("" for the unlabeled singleton) and doubles as the
+// family-map key, so equal label values always resolve to the same metric.
+type child struct {
+	labels string
+	metric any // *Counter, *Gauge or *Histogram
+}
+
+// family is all children sharing one metric name.
+type family struct {
+	name    string
+	help    string
+	k       kind
+	labels  []string  // declared label names (nil for unlabeled)
+	buckets []float64 // histograms only
+
+	mu       sync.RWMutex
+	children map[string]*child
+}
+
+// get returns the child for the given label values, creating it on first
+// use.
+func (f *family) get(values []string) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := renderLabels(f.labels, values)
+	f.mu.RLock()
+	c := f.children[key]
+	f.mu.RUnlock()
+	if c != nil {
+		return c.metric
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c := f.children[key]; c != nil { // lost the creation race
+		return c.metric
+	}
+	c = &child{labels: key}
+	switch f.k {
+	case kindCounter:
+		c.metric = &Counter{}
+	case kindGauge:
+		c.metric = &Gauge{}
+	case kindHistogram:
+		c.metric = &Histogram{
+			uppers: f.buckets,
+			counts: make([]atomic.Uint64, len(f.buckets)+1),
+		}
+	}
+	f.children[key] = c
+	return c.metric
+}
+
+// Registry is a set of named metric families. The zero value is not usable;
+// call NewRegistry. All methods are safe for concurrent use, and the
+// constructors are get-or-create: asking twice for the same name returns
+// the same metric.
+type Registry struct {
+	mu   sync.RWMutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+// family returns the named family, creating it with the given shape on
+// first use. Re-registering a name with a different type, label set or
+// bucket layout is a programming error and panics.
+func (r *Registry) family(name, help string, k kind, labels []string, buckets []float64) *family {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	r.mu.RLock()
+	f := r.fams[name]
+	r.mu.RUnlock()
+	if f == nil {
+		r.mu.Lock()
+		if f = r.fams[name]; f == nil {
+			if k == kindHistogram {
+				if len(buckets) == 0 {
+					panic(fmt.Sprintf("obs: histogram %s with no buckets", name))
+				}
+				if !sort.Float64sAreSorted(buckets) {
+					panic(fmt.Sprintf("obs: histogram %s buckets not sorted", name))
+				}
+			}
+			f = &family{
+				name: name, help: help, k: k,
+				labels:   append([]string(nil), labels...),
+				buckets:  append([]float64(nil), buckets...),
+				children: map[string]*child{},
+			}
+			r.fams[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.k != k || len(f.labels) != len(labels) {
+		panic(fmt.Sprintf("obs: %s re-registered as %v with %d labels (was %v with %d)",
+			name, k, len(labels), f.k, len(f.labels)))
+	}
+	for i := range labels {
+		if f.labels[i] != labels[i] {
+			panic(fmt.Sprintf("obs: %s re-registered with label %q (was %q)", name, labels[i], f.labels[i]))
+		}
+	}
+	return f
+}
+
+// Counter returns the unlabeled counter of the given name.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.family(name, help, kindCounter, nil, nil).get(nil).(*Counter)
+}
+
+// Gauge returns the unlabeled gauge of the given name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.family(name, help, kindGauge, nil, nil).get(nil).(*Gauge)
+}
+
+// Histogram returns the unlabeled histogram of the given name.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.family(name, help, kindHistogram, nil, buckets).get(nil).(*Histogram)
+}
+
+// CounterVec is a counter family keyed by label values.
+type CounterVec struct{ f *family }
+
+// CounterVec returns the labeled counter family of the given name.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, kindCounter, labels, nil)}
+}
+
+// With returns the counter for the given label values (created on first
+// use).
+func (v *CounterVec) With(values ...string) *Counter { return v.f.get(values).(*Counter) }
+
+// GaugeVec is a gauge family keyed by label values.
+type GaugeVec struct{ f *family }
+
+// GaugeVec returns the labeled gauge family of the given name.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, kindGauge, labels, nil)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.get(values).(*Gauge) }
+
+// HistogramVec is a histogram family keyed by label values.
+type HistogramVec struct{ f *family }
+
+// HistogramVec returns the labeled histogram family of the given name. All
+// children share the bucket layout.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.family(name, help, kindHistogram, labels, buckets)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.get(values).(*Histogram) }

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "Requests.")
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	if r.Counter("reqs_total", "Requests.") != c {
+		t.Fatal("get-or-create returned a different counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestGauge(t *testing.T) {
+	g := NewRegistry().Gauge("depth", "")
+	g.Set(10)
+	g.Add(-2.5)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 7.5 {
+		t.Fatalf("gauge = %v, want 7.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewRegistry().Histogram("lat", "", []float64{1, 5, 10})
+	for _, v := range []float64{0.5, 1, 1.5, 7, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 110 {
+		t.Fatalf("count=%d sum=%v", h.Count(), h.Sum())
+	}
+	// le semantics: 1 falls in the le="1" bucket.
+	want := []uint64{2, 1, 1, 1} // (..1], (1..5], (5..10], (10..)
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestVecChildren(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("steps_total", "", "step")
+	v.With("cost-min").Add(3)
+	v.With("premium-only").Inc()
+	if v.With("cost-min").Value() != 3 {
+		t.Fatal("label child not stable")
+	}
+	hv := r.HistogramVec("lat", "", []float64{1}, "path")
+	hv.With("/a").Observe(0.5)
+	if hv.With("/a").Count() != 1 {
+		t.Fatal("histogram child not stable")
+	}
+}
+
+func TestMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	for name, f := range map[string]func(){
+		"kind":   func() { r.Gauge("m", "") },
+		"labels": func() { r.CounterVec("m", "", "x") },
+		"arity":  func() { r.CounterVec("v", "", "a").With("1", "2") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s mismatch did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("billcap_decide_total", "Decisions taken.").Add(42)
+	v := r.CounterVec("billcap_decide_step_total", "Decisions by branch.", "step")
+	v.With("cost-min").Add(40)
+	v.With("budget-capped").Add(2)
+	r.Gauge("billcap_budget_pool_usd", "Carryover pool.").Set(-12.5)
+	h := r.Histogram("billcap_decide_seconds", "Decision latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(30)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP billcap_budget_pool_usd Carryover pool.
+# TYPE billcap_budget_pool_usd gauge
+billcap_budget_pool_usd -12.5
+# HELP billcap_decide_seconds Decision latency.
+# TYPE billcap_decide_seconds histogram
+billcap_decide_seconds_bucket{le="0.1"} 1
+billcap_decide_seconds_bucket{le="1"} 2
+billcap_decide_seconds_bucket{le="+Inf"} 3
+billcap_decide_seconds_sum 30.55
+billcap_decide_seconds_count 3
+# HELP billcap_decide_step_total Decisions by branch.
+# TYPE billcap_decide_step_total counter
+billcap_decide_step_total{step="budget-capped"} 2
+billcap_decide_step_total{step="cost-min"} 40
+# HELP billcap_decide_total Decisions taken.
+# TYPE billcap_decide_total counter
+billcap_decide_total 42
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("m", "", "p").With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `m{p="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("escaped line %q not in:\n%s", want, b.String())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	for v, want := range map[float64]string{
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		1.5:          "1.5",
+		1e9:          "1e+09",
+	} {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+// TestRegistryRace hammers get-or-create, updates and exposition from many
+// goroutines; run under -race it proves the registry is concurrency-safe
+// (issue acceptance criterion).
+func TestRegistryRace(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const iters = 400
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("race_total", "x").Inc()
+				r.Gauge("race_gauge", "x").Set(float64(i))
+				r.Histogram("race_hist", "x", DefBuckets).Observe(float64(i) / 100)
+				r.CounterVec("race_vec", "x", "w").With(fmt.Sprint(w % 4)).Inc()
+				if i%50 == 0 {
+					if err := r.WritePrometheus(io.Discard); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("race_total", "x").Value(); got != workers*iters {
+		t.Fatalf("race_total = %v, want %d", got, workers*iters)
+	}
+	var sum float64
+	for w := 0; w < 4; w++ {
+		sum += r.CounterVec("race_vec", "x", "w").With(fmt.Sprint(w)).Value()
+	}
+	if sum != workers*iters {
+		t.Fatalf("race_vec children sum = %v, want %d", sum, workers*iters)
+	}
+	if got := r.Histogram("race_hist", "x", DefBuckets).Count(); got != workers*iters {
+		t.Fatalf("race_hist count = %d, want %d", got, workers*iters)
+	}
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// DecisionTrace is one invocation hour's structured record: which branch of
+// the two-step algorithm ran, where the load went, what the MILP search
+// cost, and where the budget ledger stands. Sinks receive one per decided
+// hour; the JSON encoding is a single line, so a month of traces is a
+// greppable 720-line file.
+type DecisionTrace struct {
+	Hour int    `json:"hour"`
+	Step string `json:"step"`
+
+	ArrivedLambda  float64 `json:"arrivedLambda"`
+	PremiumLambda  float64 `json:"premiumLambda"`
+	Served         float64 `json:"served"`
+	ServedPremium  float64 `json:"servedPremium"`
+	ServedOrdinary float64 `json:"servedOrdinary"`
+	DroppedLambda  float64 `json:"droppedLambda,omitempty"`
+
+	// BudgetUSD is the hour's available budget at decision time; nil when
+	// capping is disabled (JSON cannot carry +Inf).
+	BudgetUSD        *float64 `json:"budgetUSD,omitempty"`
+	PredictedCostUSD float64  `json:"predictedCostUSD"`
+	RealizedCostUSD  float64  `json:"realizedCostUSD"`
+	PenaltyUSD       float64  `json:"penaltyUSD,omitempty"`
+	CapViolations    int      `json:"capViolations,omitempty"`
+
+	Sites  []SiteTrace  `json:"sites"`
+	Solver SolverTrace  `json:"solver"`
+	Budget *BudgetTrace `json:"budget,omitempty"`
+}
+
+// SiteTrace is one site's realized share of the hour.
+type SiteTrace struct {
+	Site           string  `json:"site"`
+	Lambda         float64 `json:"lambda"`
+	PowerMW        float64 `json:"powerMW"`
+	PriceUSDPerMWh float64 `json:"priceUSDPerMWh"`
+	CostUSD        float64 `json:"costUSD"`
+	On             bool    `json:"on"`
+}
+
+// SolverTrace is the MILP effort behind the hour's decision.
+type SolverTrace struct {
+	Solves     int     `json:"solves"`
+	Nodes      int     `json:"nodes"`
+	Pivots     int     `json:"pivots"`
+	Incumbents int     `json:"incumbents"`
+	WallMS     float64 `json:"wallMS"`
+}
+
+// BudgetTrace is the carry-forward ledger state after the hour was
+// recorded (paper §III).
+type BudgetTrace struct {
+	ShareUSD     float64 `json:"shareUSD"`     // the hour's base allocation
+	PoolUSD      float64 `json:"poolUSD"`      // within-week carryover after recording
+	SpentUSD     float64 `json:"spentUSD"`     // cumulative realized spend
+	RemainingUSD float64 `json:"remainingUSD"` // monthly budget minus spend
+	Violations   int     `json:"violations"`   // hours that overran their budget so far
+}
+
+// Sink receives decision traces. Implementations must be safe for
+// concurrent use; Run loops abort on the first emission error.
+type Sink interface {
+	Emit(t DecisionTrace) error
+}
+
+// JSONSink writes each trace as one compact JSON line.
+type JSONSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONSink wraps a writer (file, buffer, pipe) as a line-oriented sink.
+func NewJSONSink(w io.Writer) *JSONSink {
+	return &JSONSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one line.
+func (s *JSONSink) Emit(t DecisionTrace) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enc.Encode(t)
+}
+
+// SinkFunc adapts a function to the Sink interface (tests, in-memory
+// collectors).
+type SinkFunc func(t DecisionTrace) error
+
+// Emit calls the function.
+func (f SinkFunc) Emit(t DecisionTrace) error { return f(t) }

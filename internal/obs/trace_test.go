@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestJSONSinkLines(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONSink(&buf)
+	b := 500.0
+	for h := 0; h < 3; h++ {
+		err := s.Emit(DecisionTrace{
+			Hour: h, Step: "cost-min",
+			ArrivedLambda: 1e12, Served: 1e12,
+			BudgetUSD: &b,
+			Sites:     []SiteTrace{{Site: "DC1", Lambda: 1e12, On: true}},
+			Solver:    SolverTrace{Solves: 1, Nodes: 5, Pivots: 40, Incumbents: 1, WallMS: 1.5},
+			Budget:    &BudgetTrace{ShareUSD: 450, PoolUSD: -50},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want 3", len(lines))
+	}
+	for i, ln := range lines {
+		var tr DecisionTrace
+		if err := json.Unmarshal([]byte(ln), &tr); err != nil {
+			t.Fatalf("line %d not JSON: %v", i, err)
+		}
+		if tr.Hour != i || tr.Step != "cost-min" || tr.Solver.Nodes != 5 {
+			t.Errorf("line %d round-tripped to %+v", i, tr)
+		}
+		if tr.Budget == nil || tr.Budget.ShareUSD != 450 {
+			t.Errorf("line %d budget = %+v", i, tr.Budget)
+		}
+	}
+}
+
+func TestJSONSinkOmitsUncapped(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewJSONSink(&buf).Emit(DecisionTrace{Hour: 1, Step: "cost-min"}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "budget") {
+		t.Errorf("uncapped trace still mentions budget: %s", buf.String())
+	}
+}
+
+// TestJSONSinkConcurrent proves line integrity under concurrent emitters
+// (the simulator's RunAll runs strategies in parallel against one sink).
+func TestJSONSinkConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONSink(&buf)
+	var wg sync.WaitGroup
+	const n, per = 8, 50
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := s.Emit(DecisionTrace{Hour: w*per + i, Step: "x"}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	count := 0
+	for sc.Scan() {
+		var tr DecisionTrace
+		if err := json.Unmarshal(sc.Bytes(), &tr); err != nil {
+			t.Fatalf("interleaved line: %v", err)
+		}
+		count++
+	}
+	if count != n*per {
+		t.Fatalf("%d lines, want %d", count, n*per)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"billcap/internal/dcmodel"
 	"billcap/internal/forecast"
 	"billcap/internal/grid"
+	"billcap/internal/obs"
 	"billcap/internal/pricing"
 	"billcap/internal/timeseries"
 	"billcap/internal/workload"
@@ -60,6 +61,13 @@ type Config struct {
 	PredictionError float64
 	// PredictionSeed seeds the error stream.
 	PredictionSeed int64
+	// Trace, when non-nil, receives one structured decision trace per
+	// simulated hour (e.g. obs.NewJSONSink over a file). The sink must be
+	// safe for concurrent use if the config is shared by RunAll.
+	Trace obs.Sink
+	// Metrics, when non-nil, attaches the budgeter's ledger gauges to the
+	// given registry for the run.
+	Metrics *obs.Registry
 }
 
 // Validate reports the first configuration problem.
@@ -214,6 +222,9 @@ func Run(cfg Config, decider Decider) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
+		if cfg.Metrics != nil {
+			budgeter.SetMetrics(budget.NewMetrics(cfg.Metrics))
+		}
 	}
 
 	res := Result{
@@ -288,11 +299,67 @@ func Run(cfg Config, decider Decider) (Result, error) {
 		if real.CapViolations > 0 {
 			res.CapViolationHours++
 		}
-		res.Solver.Solves += dec.Solver.Solves
-		res.Solver.Nodes += dec.Solver.Nodes
-		res.Solver.Pivots += dec.Solver.Pivots
+		res.Solver.Accumulate(dec.Solver)
+
+		if cfg.Trace != nil {
+			tr := decisionTrace(cfg, h, in, dec, real)
+			if capped {
+				tr.Budget = &obs.BudgetTrace{
+					ShareUSD:     budgeter.Share(h),
+					PoolUSD:      budgeter.Pool(),
+					SpentUSD:     budgeter.Spent(),
+					RemainingUSD: budgeter.Remaining(),
+					Violations:   budgeter.Violations(),
+				}
+			}
+			if err := cfg.Trace.Emit(tr); err != nil {
+				return Result{}, fmt.Errorf("sim: hour %d: trace: %w", h, err)
+			}
+		}
 	}
 	return res, nil
+}
+
+// decisionTrace flattens one simulated hour into the observability trace
+// record: the decision, the billed ground truth, and the solver effort.
+func decisionTrace(cfg Config, h int, in core.HourInput, dec core.Decision, real core.Realization) obs.DecisionTrace {
+	tr := obs.DecisionTrace{
+		Hour:             h,
+		Step:             dec.Step.String(),
+		ArrivedLambda:    in.TotalLambda,
+		PremiumLambda:    in.PremiumLambda,
+		Served:           real.ServedLambda,
+		ServedPremium:    dec.ServedPremium,
+		ServedOrdinary:   dec.ServedOrdinary,
+		DroppedLambda:    real.DroppedLambda,
+		PredictedCostUSD: dec.PredictedCostUSD,
+		RealizedCostUSD:  real.CostUSD,
+		PenaltyUSD:       real.PenaltyUSD,
+		CapViolations:    real.CapViolations,
+		Sites:            make([]obs.SiteTrace, len(real.Sites)),
+		Solver: obs.SolverTrace{
+			Solves:     dec.Solver.Solves,
+			Nodes:      dec.Solver.Nodes,
+			Pivots:     dec.Solver.Pivots,
+			Incumbents: dec.Solver.Incumbents,
+			WallMS:     float64(dec.Solver.WallTime.Microseconds()) / 1e3,
+		},
+	}
+	if !math.IsInf(in.BudgetUSD, 1) {
+		b := in.BudgetUSD
+		tr.BudgetUSD = &b
+	}
+	for i, sr := range real.Sites {
+		tr.Sites[i] = obs.SiteTrace{
+			Site:           cfg.DCs[i].Name,
+			Lambda:         sr.Lambda,
+			PowerMW:        sr.PowerMW,
+			PriceUSDPerMWh: sr.PriceUSDPerMWh,
+			CostUSD:        sr.CostUSD,
+			On:             sr.Lambda > 0 || sr.PowerMW > 0,
+		}
+	}
+	return tr
 }
 
 // RunAll replays the same scenario under several strategies concurrently
