@@ -6,8 +6,9 @@
 //
 //	capperd -addr :8080 -variant 1
 //
-// Endpoints: GET /healthz, GET /metrics, GET /debug/pprof/, GET /v1/sites,
-// GET /v1/policies, POST /v1/decide, POST /v1/realize, POST /v1/model.
+// Endpoints: GET /healthz, GET /readyz, GET /metrics, GET /debug/pprof/,
+// GET /v1/sites, GET /v1/policies, POST /v1/decide, POST /v1/realize,
+// POST /v1/model.
 // Example:
 //
 //	curl -s localhost:8080/v1/decide -d '{
@@ -16,8 +17,8 @@
 //	}'
 //
 // The daemon exports Prometheus metrics on /metrics, runtime profiling on
-// /debug/pprof/, and drains in-flight decisions on SIGINT/SIGTERM before
-// exiting.
+// /debug/pprof/, and on SIGINT/SIGTERM flips /readyz to 503 and drains
+// in-flight decisions before exiting.
 package main
 
 import (
@@ -42,6 +43,8 @@ func main() {
 	variant := flag.Int("variant", 1, "pricing policy variant (0-3)")
 	sites := flag.Int("sites", 3, "number of data centers (3 = the paper's; more = synthetic)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown timeout for in-flight requests")
+	deadline := flag.Duration("decide-deadline", 5*time.Second,
+		"per-decision solver deadline; an expiring solve answers with its best incumbent (0 = unbounded)")
 	flag.Parse()
 
 	if *variant < 0 || *variant > 3 {
@@ -56,15 +59,21 @@ func main() {
 		dcs = dcmodel.SyntheticSites(*sites)
 		pols = pricing.Synthetic(*sites)
 	}
-	srv, err := api.New(dcs, pols, core.Options{})
+	srv, err := api.New(dcs, pols, core.Options{SolveDeadline: *deadline})
 	if err != nil {
 		log.Fatalf("capperd: %v", err)
 	}
 	hs := &http.Server{
-		Handler:     srv.Handler(),
-		ReadTimeout: 10 * time.Second,
+		Handler: srv.Handler(),
+		// Bound every phase of a connection so a slow or stalled client
+		// cannot pin a decision worker: header trickling (Slowloris) dies at
+		// ReadHeaderTimeout, a stalled body at ReadTimeout, and idle
+		// keep-alives are reaped by IdleTimeout.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
 		// Long enough for /debug/pprof/profile's default 30 s CPU window.
 		WriteTimeout: 60 * time.Second,
+		IdleTimeout:  120 * time.Second,
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -72,6 +81,8 @@ func main() {
 		log.Fatalf("capperd: listen: %v", err)
 	}
 	log.Printf("capperd: %d sites, %v, listening on %s", len(dcs), pricing.PolicyVariant(*variant), ln.Addr())
+	log.Printf("capperd: timeouts: readHeader=%v read=%v write=%v idle=%v decide=%v drain=%v",
+		hs.ReadHeaderTimeout, hs.ReadTimeout, hs.WriteTimeout, hs.IdleTimeout, *deadline, *drain)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -82,7 +93,8 @@ func main() {
 	case err := <-errc:
 		log.Fatalf("capperd: serve: %v", err)
 	case <-ctx.Done():
-		stop() // restore default signal handling: a second ^C kills immediately
+		stop()                // restore default signal handling: a second ^C kills immediately
+		srv.SetDraining(true) // /readyz → 503 so load balancers stop sending work
 		log.Printf("capperd: shutdown signal, draining for up to %v", *drain)
 		sctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()

@@ -5,6 +5,7 @@
 // Endpoints:
 //
 //	GET  /healthz       liveness
+//	GET  /readyz        readiness (503 while draining or persistently degraded)
 //	GET  /metrics       Prometheus text exposition (controller + HTTP metrics)
 //	GET  /debug/pprof/  runtime profiling (CPU, heap, goroutines, …)
 //	GET  /v1/sites      site inventory (capacity, caps, market)
@@ -13,18 +14,24 @@
 //	POST /v1/realize    ground-truth billing of an allocation
 //	POST /v1/model      dump the hour's MILP in lp_solve-style text
 //
-// All errors — including 404s and oversized bodies — use one JSON envelope:
-// {"error": "..."}.
+// All errors — including 404s, panics and oversized bodies — use one JSON
+// envelope: {"error": "..."}. Status codes follow one contract: malformed or
+// invalid requests are 400 (the client's fault), solver and model failures
+// are 500 (ours), and a request whose own deadline expired before the solver
+// could start is 504.
 package api
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
 	"net/http"
 	"net/http/pprof"
+	"sync/atomic"
+	"time"
 
 	"billcap/internal/core"
 	"billcap/internal/dcmodel"
@@ -36,14 +43,24 @@ import (
 // hundred bytes, so 1 MiB is generous headroom against abuse.
 const maxBodyBytes = 1 << 20
 
+// maxConsecutiveDegraded is how many back-to-back degraded resilient
+// decisions (fallback rung or below) flip /readyz to 503: the controller is
+// still answering, but a load balancer with a healthier replica should
+// prefer it.
+const maxConsecutiveDegraded = 3
+
 // Server handles the control API for one system.
 type Server struct {
-	sys      *core.System
-	sites    []*dcmodel.Site
-	policies []pricing.Policy
-	mux      *http.ServeMux
-	reg      *obs.Registry
-	metrics  *httpMetrics
+	sys       *core.System
+	resilient *core.Resilient
+	sites     []*dcmodel.Site
+	policies  []pricing.Policy
+	mux       *http.ServeMux
+	reg       *obs.Registry
+	metrics   *httpMetrics
+
+	draining       atomic.Bool
+	consecDegraded atomic.Int64
 }
 
 // New builds the server over an assembled system, instrumented on a fresh
@@ -56,10 +73,12 @@ func New(dcs []*dcmodel.Site, policies []pricing.Policy, opts core.Options) (*Se
 	reg := obs.NewRegistry()
 	sys.SetMetrics(core.NewMetrics(reg))
 	s := &Server{
-		sys: sys, sites: dcs, policies: policies,
+		sys: sys, resilient: core.NewResilient(sys, core.ResilientOptions{}),
+		sites: dcs, policies: policies,
 		mux: http.NewServeMux(), reg: reg, metrics: newHTTPMetrics(reg),
 	}
 	s.handle("/healthz", s.handleHealth)
+	s.handle("/readyz", s.handleReady)
 	s.handle("/v1/sites", s.handleSites)
 	s.handle("/v1/policies", s.handlePolicies)
 	s.handle("/v1/decide", s.handleDecide)
@@ -78,13 +97,33 @@ func New(dcs []*dcmodel.Site, policies []pricing.Policy, opts core.Options) (*Se
 	return s, nil
 }
 
-// handle registers a route wrapped in the counting/timing middleware.
+// handle registers a route wrapped in panic recovery and the
+// counting/timing middleware.
 func (s *Server) handle(route string, h http.HandlerFunc) {
-	s.mux.HandleFunc(route, s.metrics.instrument(route, h))
+	s.mux.HandleFunc(route, s.metrics.instrument(route, recovered(h)))
 }
 
 // Handler returns the HTTP handler (for http.Server or tests).
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// SetDraining flips /readyz to 503 (true) or back (false) so load balancers
+// stop routing new work while in-flight requests finish; the daemon calls it
+// when the shutdown signal arrives.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Resilient exposes the server's degradation ladder — the seam through which
+// an operator (or a chaos test) can force rung failures.
+func (s *Server) Resilient() *core.Resilient { return s.resilient }
+
+// noteRung feeds the readiness trip: consecutive decisions at the fallback
+// rung or below mark the replica unready; any healthier decision resets it.
+func (s *Server) noteRung(d core.Degrade) {
+	if d >= core.DegradeFallback {
+		s.consecDegraded.Add(1)
+	} else {
+		s.consecDegraded.Store(0)
+	}
+}
 
 // Registry exposes the server's metrics registry so the daemon (or an
 // embedding test) can add process-level series next to the controller's.
@@ -104,6 +143,20 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// statusFor maps a controller error onto the API contract: malformed input
+// is the client's fault (400), an exhausted request deadline is 504, and
+// everything else — solver failures, model bugs — is ours (500).
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, core.ErrBadInput):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 // readJSON decodes a capped request body into v. On failure it writes the
@@ -130,6 +183,23 @@ func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady reports whether this replica should receive traffic: 503 while
+// draining for shutdown, and 503 once maxConsecutiveDegraded resilient
+// decisions in a row have run at the fallback rung or below.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	if n := s.consecDegraded.Load(); n >= maxConsecutiveDegraded {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "degraded", "consecutiveDegradedDecisions": n,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 // SiteInfo is the inventory entry of /v1/sites.
@@ -202,6 +272,19 @@ type DecideRequest struct {
 	PremiumLambda float64   `json:"premiumLambda"`
 	DemandMW      []float64 `json:"demandMW"`
 	BudgetUSD     *float64  `json:"budgetUSD"`
+	// Hour is the absolute hour index (used by the staleness bound of the
+	// resilient path); 0 is fine for one-shot requests.
+	Hour int `json:"hour,omitempty"`
+	// Down marks sites unavailable this hour (site order as /v1/sites).
+	Down []bool `json:"down,omitempty"`
+	// TimeoutMS bounds the decision's wall-clock budget; a solve that
+	// expires answers with its best incumbent (degraded "time-limit")
+	// rather than holding the request. 0 → the server's solver options.
+	TimeoutMS float64 `json:"timeoutMS,omitempty"`
+	// Resilient routes the request through the degradation ladder: the
+	// answer may be degraded (see "degraded" in the response) but solver
+	// failures never surface as errors.
+	Resilient bool `json:"resilient,omitempty"`
 }
 
 // SiteDecision is one site's share in a DecideResponse.
@@ -216,7 +299,11 @@ type SiteDecision struct {
 
 // DecideResponse is the capper's answer.
 type DecideResponse struct {
-	Step             string         `json:"step"`
+	Step string `json:"step"`
+	// Degraded names the degradation rung that produced the answer
+	// ("time-limit", "fallback", "stale", "shed"); empty when the solve was
+	// proven optimal.
+	Degraded         string         `json:"degraded,omitempty"`
 	Served           float64        `json:"served"`
 	ServedPremium    float64        `json:"servedPremium"`
 	ServedOrdinary   float64        `json:"servedOrdinary"`
@@ -226,6 +313,7 @@ type DecideResponse struct {
 	SolverSolves     int            `json:"solverSolves"`
 	SolverPivots     int            `json:"solverPivots"`
 	SolverIncumbents int            `json:"solverIncumbents"`
+	SolverTimeouts   int            `json:"solverTimeouts,omitempty"`
 	SolverWallMS     float64        `json:"solverWallMS"`
 }
 
@@ -239,22 +327,39 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	in := core.HourInput{
+		Hour:          req.Hour,
 		TotalLambda:   req.TotalLambda,
 		PremiumLambda: req.PremiumLambda,
 		DemandMW:      req.DemandMW,
 		BudgetUSD:     math.Inf(1),
+		Down:          req.Down,
 	}
 	if req.BudgetUSD != nil {
 		in.BudgetUSD = *req.BudgetUSD
 	}
+	// A malformed request is the client's bug even on the resilient path;
+	// the ladder's input patching is for feed dropouts, not API misuse.
 	if err := s.sys.ValidateInput(in); err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeErr(w, statusFor(err), err)
 		return
 	}
-	dec, err := s.sys.DecideHour(in)
-	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
-		return
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS*float64(time.Millisecond)))
+		defer cancel()
+	}
+	var dec core.Decision
+	if req.Resilient {
+		dec = s.resilient.DecideCtx(ctx, in)
+		s.noteRung(dec.Degraded)
+	} else {
+		var err error
+		dec, err = s.sys.DecideHourCtx(ctx, in)
+		if err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
 	}
 	resp := DecideResponse{
 		Step:             dec.Step.String(),
@@ -266,7 +371,11 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		SolverSolves:     dec.Solver.Solves,
 		SolverPivots:     dec.Solver.Pivots,
 		SolverIncumbents: dec.Solver.Incumbents,
+		SolverTimeouts:   dec.Solver.Timeouts,
 		SolverWallMS:     float64(dec.Solver.WallTime.Microseconds()) / 1e3,
+	}
+	if dec.Degraded != core.DegradeNone {
+		resp.Degraded = dec.Degraded.String()
 	}
 	for i, a := range dec.Sites {
 		resp.Sites = append(resp.Sites, SiteDecision{
@@ -301,7 +410,7 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	}
 	var buf bytes.Buffer
 	if err := s.sys.WriteHourModel(&buf, in, in.TotalLambda); err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeErr(w, statusFor(err), err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -350,7 +459,7 @@ func (s *Server) handleRealize(w http.ResponseWriter, r *http.Request) {
 	}
 	real, err := s.sys.Realize(req.Lambdas, req.DemandMW)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeErr(w, statusFor(err), err)
 		return
 	}
 	resp := RealizeResponse{

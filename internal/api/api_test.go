@@ -149,34 +149,61 @@ func TestDecideThenRealizeRoundTrip(t *testing.T) {
 	}
 }
 
+// TestErrorStatuses pins the API's status-code contract: client mistakes —
+// wrong method, undecodable or semantically invalid bodies — are 4xx, and
+// the exact code for each failure class is part of the interface.
 func TestErrorStatuses(t *testing.T) {
 	ts := newTestServer(t)
-	// Wrong methods.
-	if resp := postJSON(t, ts.URL+"/v1/sites", struct{}{}, nil); resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("POST /v1/sites = %d", resp.StatusCode)
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		want   int
+	}{
+		{"wrong method on sites", http.MethodPost, "/v1/sites", "{}", http.StatusMethodNotAllowed},
+		{"wrong method on decide", http.MethodGet, "/v1/decide", "", http.StatusMethodNotAllowed},
+		{"wrong method on realize", http.MethodGet, "/v1/realize", "", http.StatusMethodNotAllowed},
+		{"wrong method on model", http.MethodGet, "/v1/model", "", http.StatusMethodNotAllowed},
+		{"undecodable body", http.MethodPost, "/v1/decide", "{nope", http.StatusBadRequest},
+		{"negative workload", http.MethodPost, "/v1/decide",
+			`{"totalLambda": -1, "demandMW": [1, 2, 3]}`, http.StatusBadRequest},
+		{"premium above total", http.MethodPost, "/v1/decide",
+			`{"totalLambda": 1, "premiumLambda": 2, "demandMW": [1, 2, 3]}`, http.StatusBadRequest},
+		{"demand arity", http.MethodPost, "/v1/decide",
+			`{"totalLambda": 1, "demandMW": [1]}`, http.StatusBadRequest},
+		{"negative budget", http.MethodPost, "/v1/decide",
+			`{"totalLambda": 1, "demandMW": [1, 2, 3], "budgetUSD": -5}`, http.StatusBadRequest},
+		{"availability arity", http.MethodPost, "/v1/decide",
+			`{"totalLambda": 1, "demandMW": [1, 2, 3], "down": [true]}`, http.StatusBadRequest},
+		{"realize arity", http.MethodPost, "/v1/realize",
+			`{"lambdas": [1], "demandMW": [1, 2, 3]}`, http.StatusBadRequest},
+		{"realize negative load", http.MethodPost, "/v1/realize",
+			`{"lambdas": [-1, 0, 0], "demandMW": [1, 2, 3]}`, http.StatusBadRequest},
+		{"model negative workload", http.MethodPost, "/v1/model",
+			`{"totalLambda": -1, "demandMW": [1, 2, 3]}`, http.StatusBadRequest},
+		{"unknown endpoint", http.MethodGet, "/v1/nope", "", http.StatusNotFound},
 	}
-	if resp := getJSON(t, ts.URL+"/v1/decide", nil); resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("GET /v1/decide = %d", resp.StatusCode)
-	}
-	// Malformed JSON.
-	resp, err := http.Post(ts.URL+"/v1/decide", "application/json", strings.NewReader("{nope"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("bad JSON = %d", resp.StatusCode)
-	}
-	// Semantically invalid input.
-	if resp := postJSON(t, ts.URL+"/v1/decide", DecideRequest{
-		TotalLambda: -1, DemandMW: []float64{1, 2, 3},
-	}, nil); resp.StatusCode != http.StatusUnprocessableEntity {
-		t.Errorf("invalid input = %d", resp.StatusCode)
-	}
-	if resp := postJSON(t, ts.URL+"/v1/realize", RealizeRequest{
-		Lambdas: []float64{1}, DemandMW: []float64{1, 2, 3},
-	}, nil); resp.StatusCode != http.StatusUnprocessableEntity {
-		t.Errorf("realize arity = %d", resp.StatusCode)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Errorf("%s %s = %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+			}
+			var body errorBody
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Error == "" {
+				t.Errorf("%s %s: error envelope missing (%v)", tc.method, tc.path, err)
+			}
+		})
 	}
 }
 
@@ -201,14 +228,14 @@ func TestModelDump(t *testing.T) {
 	if !strings.Contains(text, "min:") || !strings.Contains(text, "int ") {
 		t.Fatalf("dump does not look like an LP model:\n%.200s", text)
 	}
-	// Bad input → 422.
+	// Bad input → 400.
 	bad, _ := json.Marshal(DecideRequest{TotalLambda: -1, DemandMW: []float64{1, 2, 3}})
 	resp2, err := http.Post(ts.URL+"/v1/model", "application/json", bytes.NewReader(bad))
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp2.Body.Close()
-	if resp2.StatusCode != http.StatusUnprocessableEntity {
+	if resp2.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad input status %d", resp2.StatusCode)
 	}
 }

@@ -1,6 +1,7 @@
 package api
 
 import (
+	"fmt"
 	"net/http"
 	"strconv"
 	"time"
@@ -42,6 +43,22 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 		w.status = http.StatusOK
 	}
 	return w.ResponseWriter.Write(b)
+}
+
+// recovered converts a handler panic into the JSON 500 envelope. Without it
+// a panicking handler kills the connection mid-response and the client sees
+// a transport error instead of a diagnosable failure; the controller daemon
+// must stay up and accountable through solver bugs.
+func recovered(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				writeErr(w, http.StatusInternalServerError,
+					fmt.Errorf("internal panic serving %s: %v", r.URL.Path, p))
+			}
+		}()
+		h(w, r)
+	}
 }
 
 // instrument wraps a handler with the per-route middleware. The route label

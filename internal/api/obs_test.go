@@ -132,7 +132,7 @@ func TestErrorsCountedByStatus(t *testing.T) {
 	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	want := `billcap_http_requests_total{route="/v1/decide",method="POST",code="422"} 1`
+	want := `billcap_http_requests_total{route="/v1/decide",method="POST",code="400"} 1`
 	if !strings.Contains(string(body), want) {
 		t.Errorf("metrics missing %q", want)
 	}

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"time"
+
+	"billcap/internal/milp"
 )
 
 // budgetSlack absorbs floating-point noise when comparing a predicted cost
@@ -26,23 +29,57 @@ const budgetSlack = 1e-6
 // When metrics are attached (SetMetrics), every call records its branch,
 // latency and MILP effort.
 func (s *System) DecideHour(in HourInput) (Decision, error) {
+	return s.decideWith(in, s.solveOptions())
+}
+
+// DecideHourCtx is DecideHour bounded by ctx: the context's deadline and
+// cancellation are translated into the MILP's wall-clock budget, so a
+// per-request HTTP timeout propagates all the way into branch-and-bound. A
+// solve that expires mid-search answers with its best incumbent
+// (DegradeTimeLimit) instead of hanging past the caller's patience.
+func (s *System) DecideHourCtx(ctx context.Context, in HourInput) (Decision, error) {
+	so := s.solveOptions()
+	if dl, ok := ctx.Deadline(); ok {
+		remain := time.Until(dl)
+		if remain <= 0 {
+			return Decision{}, ctx.Err()
+		}
+		if so.Deadline == 0 || remain < so.Deadline {
+			so.Deadline = remain
+		}
+	}
+	so.Cancel = ctx.Done()
+	return s.decideWith(in, so)
+}
+
+func (s *System) decideWith(in HourInput, so milp.Options) (Decision, error) {
 	if s.metrics == nil {
-		return s.decideHour(in)
+		return s.decideHour(in, so)
 	}
 	start := time.Now()
-	dec, err := s.decideHour(in)
+	dec, err := s.decideHour(in, so)
 	s.metrics.observe(s, dec, err, time.Since(start))
 	return dec, err
 }
 
-func (s *System) decideHour(in HourInput) (Decision, error) {
+func (s *System) decideHour(in HourInput, so milp.Options) (Decision, error) {
+	dec, err := s.decideSteps(in, so)
+	if err == nil && dec.Solver.Timeouts > 0 {
+		// Any timed-out solve taints the whole decision: the branch taken may
+		// rest on a suboptimal cost estimate.
+		dec.Degraded = DegradeTimeLimit
+	}
+	return dec, err
+}
+
+func (s *System) decideSteps(in HourInput, so milp.Options) (Decision, error) {
 	if err := s.ValidateInput(in); err != nil {
 		return Decision{}, err
 	}
 	var stats SolverStats
 
 	// Step 1: minimize cost for everything.
-	d1, err := s.MinimizeCost(in, in.TotalLambda, &stats)
+	d1, err := s.minimizeCost(in, in.TotalLambda, &stats, so)
 	switch {
 	case err == nil:
 		if d1.PredictedCostUSD <= in.BudgetUSD*(1+budgetSlack)+budgetSlack {
@@ -60,7 +97,7 @@ func (s *System) decideHour(in HourInput) (Decision, error) {
 	overCapacity := err != nil
 
 	// Step 2: maximize throughput within the budget.
-	d2, err := s.MaximizeThroughput(in, &stats)
+	d2, err := s.maximizeThroughput(in, &stats, so)
 	if err != nil {
 		return Decision{}, err
 	}
@@ -76,7 +113,7 @@ func (s *System) decideHour(in HourInput) (Decision, error) {
 	}
 
 	// Step 2 fallback: serve premium only, at minimum cost, over budget.
-	d3, err := s.MinimizeCost(in, in.PremiumLambda, &stats)
+	d3, err := s.minimizeCost(in, in.PremiumLambda, &stats, so)
 	if err == nil {
 		d3.Step = StepPremiumOnly
 		d3.ServedPremium = d3.Served
@@ -93,7 +130,7 @@ func (s *System) decideHour(in HourInput) (Decision, error) {
 	inPrem := in
 	inPrem.TotalLambda = in.PremiumLambda
 	inPrem.BudgetUSD = math.Inf(1)
-	d4, err := s.MaximizeThroughput(inPrem, &stats)
+	d4, err := s.maximizeThroughput(inPrem, &stats, so)
 	if err != nil {
 		return Decision{}, err
 	}

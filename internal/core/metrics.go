@@ -13,10 +13,15 @@ import (
 // concurrency-safe), which is how a fleet of per-group cappers reports to
 // one scrape endpoint.
 type Metrics struct {
-	decideTotal   *obs.Counter
-	decideErrors  *obs.Counter
-	decideStep    *obs.CounterVec
-	decideSeconds *obs.Histogram
+	decideTotal    *obs.Counter
+	decideErrors   *obs.Counter
+	decideStep     *obs.CounterVec
+	decideDegraded *obs.CounterVec
+	decideSeconds  *obs.Histogram
+
+	fallbackUsed   *obs.Counter
+	solverTimeouts *obs.Counter
+	staleDecisions *obs.Counter
 
 	milpSolves     *obs.Counter
 	milpNodes      *obs.Counter
@@ -40,8 +45,17 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		decideErrors: reg.Counter("billcap_decide_errors_total", "Decisions that returned an error."),
 		decideStep: reg.CounterVec("billcap_decide_step_total",
 			"Decisions by algorithm branch (paper §IV–§V).", "step"),
+		decideDegraded: reg.CounterVec("billcap_decide_degraded_total",
+			"Decisions by degradation-ladder rung (none = proven optimal).", "rung"),
 		decideSeconds: reg.Histogram("billcap_decide_seconds",
 			"End-to-end DecideHour latency in seconds.", obs.DefBuckets),
+
+		fallbackUsed: reg.Counter("billcap_fallback_used_total",
+			"Decisions produced by the greedy fallback dispatcher after MILP failure."),
+		solverTimeouts: reg.Counter("billcap_solver_timeouts_total",
+			"MILP solves that hit their wall-clock deadline and answered with an incumbent."),
+		staleDecisions: reg.Counter("billcap_stale_decisions_total",
+			"Decisions reusing a last-known-good plan because both solvers failed."),
 
 		milpSolves: reg.Counter("billcap_milp_solves_total", "MILP solves issued by the two-step algorithm."),
 		milpNodes:  reg.Counter("billcap_milp_nodes_total", "Branch-and-bound nodes explored."),
@@ -64,7 +78,27 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 	for st := StepCostMin; st <= StepOverCapacity; st++ {
 		m.decideStep.With(st.String())
 	}
+	for d := DegradeNone; d <= DegradeShed; d++ {
+		m.decideDegraded.With(d.String())
+	}
 	return m
+}
+
+// RecordDegraded notes a decision produced below the MILP path — the
+// Resilient ladder calls it for rungs the System itself never sees (the MILP
+// erred or panicked, so observe() only recorded the failure). Safe on a nil
+// receiver so callers need not guard for detached instrumentation.
+func (m *Metrics) RecordDegraded(d Degrade) {
+	if m == nil {
+		return
+	}
+	switch d {
+	case DegradeFallback:
+		m.fallbackUsed.Inc()
+	case DegradeStale:
+		m.staleDecisions.Inc()
+	}
+	m.decideDegraded.With(d.String()).Inc()
 }
 
 // SetMetrics attaches (or, with nil, detaches) instrumentation to the
@@ -80,6 +114,8 @@ func (m *Metrics) observe(s *System, dec Decision, err error, elapsed time.Durat
 		return
 	}
 	m.decideStep.With(dec.Step.String()).Inc()
+	m.decideDegraded.With(dec.Degraded.String()).Inc()
+	m.solverTimeouts.Add(float64(dec.Solver.Timeouts))
 	m.milpSolves.Add(float64(dec.Solver.Solves))
 	m.milpNodes.Add(float64(dec.Solver.Nodes))
 	m.milpPivots.Add(float64(dec.Solver.Pivots))

@@ -25,6 +25,9 @@ type SolverStats struct {
 	Nodes      int
 	Pivots     int
 	Incumbents int
+	// Timeouts counts solves that hit their wall-clock deadline and
+	// answered with a best-effort incumbent instead of a proven optimum.
+	Timeouts int
 	// WallTime is the wall-clock time spent inside MILP solves.
 	WallTime time.Duration
 }
@@ -35,6 +38,9 @@ func (st *SolverStats) add(sol milp.Solution) {
 	st.Pivots += sol.Pivots
 	st.Incumbents += sol.Incumbents
 	st.WallTime += sol.Elapsed
+	if sol.Status == milp.TimeLimit {
+		st.Timeouts++
+	}
 }
 
 // Accumulate folds another decision's stats into st (simulators and
@@ -44,6 +50,7 @@ func (st *SolverStats) Accumulate(o SolverStats) {
 	st.Nodes += o.Nodes
 	st.Pivots += o.Pivots
 	st.Incumbents += o.Incumbents
+	st.Timeouts += o.Timeouts
 	st.WallTime += o.WallTime
 }
 
@@ -94,6 +101,47 @@ func (st Step) String() string {
 	return fmt.Sprintf("Step(%d)", int(st))
 }
 
+// Degrade identifies which rung of the graceful-degradation ladder produced
+// a decision. The real-time controller must answer every invocation period,
+// so when the optimal path fails it steps down the ladder instead of
+// returning nothing; the rung is recorded for traces and metrics.
+type Degrade int
+
+// Ladder rungs, in descending order of answer quality.
+const (
+	// DegradeNone: the MILP proved optimality within its budget.
+	DegradeNone Degrade = iota
+	// DegradeTimeLimit: a solve hit its wall-clock deadline; the decision is
+	// its best feasible incumbent, not a proven optimum.
+	DegradeTimeLimit
+	// DegradeFallback: the MILP failed (panic, error, forced fault) and the
+	// greedy dispatcher produced the plan.
+	DegradeFallback
+	// DegradeStale: both solvers failed; a recent last-known-good decision
+	// was reused within the staleness bound.
+	DegradeStale
+	// DegradeShed: everything failed with nothing to reuse; the controller
+	// sheds the hour's load (all sites off) rather than crash.
+	DegradeShed
+)
+
+// String names the rung.
+func (d Degrade) String() string {
+	switch d {
+	case DegradeNone:
+		return "none"
+	case DegradeTimeLimit:
+		return "time-limit"
+	case DegradeFallback:
+		return "fallback"
+	case DegradeStale:
+		return "stale"
+	case DegradeShed:
+		return "shed"
+	}
+	return fmt.Sprintf("Degrade(%d)", int(d))
+}
+
 // Decision is the capper's output for one hour.
 type Decision struct {
 	Sites []SiteAlloc
@@ -102,7 +150,10 @@ type Decision struct {
 	// Served splits the admitted traffic.
 	Served, ServedPremium, ServedOrdinary float64
 	Step                                  Step
-	Solver                                SolverStats
+	// Degraded records which ladder rung produced the decision
+	// (DegradeNone for a clean optimal solve).
+	Degraded Degrade
+	Solver   SolverStats
 }
 
 // siteVars holds the MILP variable handles of one site.
@@ -146,6 +197,10 @@ func (s *System) buildBase(in HourInput, scale float64) (*milp.Problem, []siteVa
 			{Var: x, Coef: 1},
 			{Var: y, Coef: -sm.maxLambda / scale},
 		}, lp.LE, 0)
+		if in.SiteDown(i) {
+			// Outage: force the site off; the capacity row then pins x = 0.
+			m.AddConstraint([]lp.Term{{Var: y, Coef: 1}}, lp.EQ, 0)
+		}
 		vars[i] = siteVars{x: x, y: y, enc: enc}
 	}
 	return m, vars, nil
@@ -196,11 +251,15 @@ func (s *System) decisionFrom(sol milp.Solution, vars []siteVars, scale float64)
 // lambda requests/hour at minimum predicted electricity cost subject to the
 // SLA, per-site power caps and the optimizer's price model.
 func (s *System) MinimizeCost(in HourInput, lambda float64, stats *SolverStats) (Decision, error) {
+	return s.minimizeCost(in, lambda, stats, s.solveOptions())
+}
+
+func (s *System) minimizeCost(in HourInput, lambda float64, stats *SolverStats, so milp.Options) (Decision, error) {
 	if err := s.ValidateInput(in); err != nil {
 		return Decision{}, err
 	}
-	if lambda < 0 {
-		return Decision{}, fmt.Errorf("core: negative workload %v", lambda)
+	if lambda < 0 || math.IsNaN(lambda) {
+		return Decision{}, fmt.Errorf("%w: negative workload %v", ErrBadInput, lambda)
 	}
 	scale := lambdaScale(lambda)
 	m, vars, err := s.buildBase(in, scale)
@@ -216,19 +275,28 @@ func (s *System) MinimizeCost(in HourInput, lambda float64, stats *SolverStats) 
 	for _, t := range costTerms(vars) {
 		m.SetObjectiveCoef(t.Var, m.ObjectiveCoef(t.Var)+t.Coef)
 	}
-	sol := m.Solve()
+	sol := m.SolveWithOptions(so)
 	if stats != nil {
 		stats.add(sol)
 	}
 	switch sol.Status {
 	case milp.Optimal:
+	case milp.TimeLimit:
+		if len(sol.X) == 0 {
+			return Decision{}, fmt.Errorf("core: cost minimization timed out with no incumbent")
+		}
 	case milp.Infeasible:
 		return Decision{}, fmt.Errorf("%w: %v req/h over %d sites", ErrInfeasible, lambda, len(vars))
 	default:
 		return Decision{}, fmt.Errorf("core: cost minimization ended %v", sol.Status)
 	}
 	d := s.decisionFrom(sol, vars, scale)
-	d.Solver = *stats
+	if sol.Status == milp.TimeLimit {
+		d.Degraded = DegradeTimeLimit
+	}
+	if stats != nil {
+		d.Solver = *stats
+	}
 	return d, nil
 }
 
@@ -241,8 +309,8 @@ func (s *System) WriteHourModel(w io.Writer, in HourInput, lambda float64) error
 	if err := s.ValidateInput(in); err != nil {
 		return err
 	}
-	if lambda < 0 {
-		return fmt.Errorf("core: negative workload %v", lambda)
+	if lambda < 0 || math.IsNaN(lambda) {
+		return fmt.Errorf("%w: negative workload %v", ErrBadInput, lambda)
 	}
 	scale := lambdaScale(lambda)
 	m, vars, err := s.buildBase(in, scale)
@@ -265,6 +333,10 @@ func (s *System) WriteHourModel(w io.Writer, in HourInput, lambda float64) error
 // the budget. Ties in throughput break toward cheaper allocations via a tiny
 // cost penalty.
 func (s *System) MaximizeThroughput(in HourInput, stats *SolverStats) (Decision, error) {
+	return s.maximizeThroughput(in, stats, s.solveOptions())
+}
+
+func (s *System) maximizeThroughput(in HourInput, stats *SolverStats, so milp.Options) (Decision, error) {
 	if err := s.ValidateInput(in); err != nil {
 		return Decision{}, err
 	}
@@ -292,16 +364,25 @@ func (s *System) MaximizeThroughput(in HourInput, stats *SolverStats) (Decision,
 	for _, t := range costTerms(vars) {
 		m.SetObjectiveCoef(t.Var, m.ObjectiveCoef(t.Var)-eps*t.Coef)
 	}
-	sol := m.Solve()
+	sol := m.SolveWithOptions(so)
 	if stats != nil {
 		stats.add(sol)
 	}
-	if sol.Status != milp.Optimal {
+	switch {
+	case sol.Status == milp.Optimal:
+	case sol.Status == milp.TimeLimit && len(sol.X) > 0:
+	default:
 		// x = 0 with all sites off is always feasible, so anything but
-		// optimal indicates a solver-level failure worth surfacing.
+		// optimal (or a timed-out incumbent) indicates a solver-level
+		// failure worth surfacing.
 		return Decision{}, fmt.Errorf("core: throughput maximization ended %v", sol.Status)
 	}
 	d := s.decisionFrom(sol, vars, scale)
-	d.Solver = *stats
+	if sol.Status == milp.TimeLimit {
+		d.Degraded = DegradeTimeLimit
+	}
+	if stats != nil {
+		d.Solver = *stats
+	}
 	return d, nil
 }

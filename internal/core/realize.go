@@ -49,14 +49,14 @@ type Realization struct {
 // site i; demand[i] is that region's background draw in MW.
 func (s *System) Realize(lambdas, demand []float64) (Realization, error) {
 	if len(lambdas) != len(s.Sites) || len(demand) != len(s.Sites) {
-		return Realization{}, fmt.Errorf("core: realize got %d/%d entries for %d sites",
-			len(lambdas), len(demand), len(s.Sites))
+		return Realization{}, fmt.Errorf("%w: realize got %d/%d entries for %d sites",
+			ErrBadInput, len(lambdas), len(demand), len(s.Sites))
 	}
 	out := Realization{Sites: make([]SiteRealization, len(s.Sites))}
 	for i, site := range s.Sites {
 		lam := lambdas[i]
 		if lam < 0 || math.IsNaN(lam) {
-			return Realization{}, fmt.Errorf("core: bad load %v for site %s", lam, site.DC.Name)
+			return Realization{}, fmt.Errorf("%w: bad load %v for site %s", ErrBadInput, lam, site.DC.Name)
 		}
 		// Physical ceiling: the dispatcher cannot make installed servers
 		// serve more than the SLA admits; excess is dropped and accounted.

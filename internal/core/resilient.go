@@ -1,0 +1,318 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"billcap/internal/fallback"
+)
+
+// ResilientOptions tune the degradation ladder.
+type ResilientOptions struct {
+	// MaxStaleHours bounds how old a last-known-good decision may be before
+	// the stale rung refuses to reuse it; 0 → 3 hours. Beyond that the
+	// workload and prices have drifted too far for yesterday's plan to be a
+	// defensible answer, and shedding is honest.
+	MaxStaleHours int
+}
+
+func (o ResilientOptions) maxStale() int {
+	if o.MaxStaleHours == 0 {
+		return 3
+	}
+	return o.MaxStaleHours
+}
+
+// Resilient wraps a System in the graceful-degradation ladder: the real-time
+// controller must produce an allocation every invocation period, so instead
+// of propagating solver failures it steps down through progressively cruder
+// but safer answers:
+//
+//	optimal MILP → deadline-limited incumbent → greedy dispatch →
+//	last-known-good reuse → shed
+//
+// Every rung respects power caps and the SLA admission limit; what degrades
+// is cost optimality and, at the bottom, served throughput — never safety.
+// The rung taken is recorded in Decision.Degraded and, when the wrapped
+// system carries metrics, in the billcap_fallback_used_total /
+// billcap_stale_decisions_total / billcap_decide_degraded_total counters.
+//
+// Corrupt inputs (NaN demand, negative budgets, wrong-arity feeds) are
+// patched with the last pristine values seen before deciding, so a price- or
+// demand-feed dropout degrades the answer instead of killing the hour.
+//
+// Decide is safe for concurrent use.
+type Resilient struct {
+	sys  *System
+	opts ResilientOptions
+
+	mu           sync.Mutex
+	lastGood     *Decision
+	lastGoodHour int
+	lastDemand   []float64
+	lastBudget   float64
+	haveBudget   bool
+	failSolver   map[int]bool
+	failFallback map[int]bool
+}
+
+// NewResilient wraps sys in the ladder.
+func NewResilient(sys *System, opts ResilientOptions) *Resilient {
+	return &Resilient{
+		sys:          sys,
+		opts:         opts,
+		lastGoodHour: math.MinInt32,
+		failSolver:   map[int]bool{},
+		failFallback: map[int]bool{},
+	}
+}
+
+// System exposes the wrapped optimizer system.
+func (r *Resilient) System() *System { return r.sys }
+
+// InjectSolverFailure forces the MILP rung to fail at the given hour — the
+// fault-injection hook the chaos harness uses to exercise the ladder.
+func (r *Resilient) InjectSolverFailure(hour int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.failSolver[hour] = true
+}
+
+// InjectFallbackFailure forces the greedy rung to fail at the given hour.
+func (r *Resilient) InjectFallbackFailure(hour int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.failFallback[hour] = true
+}
+
+// Decide runs the ladder for one hour. It is total: it always returns a
+// decision (possibly the zero "shed" decision) and never panics.
+func (r *Resilient) Decide(in HourInput) Decision {
+	return r.DecideCtx(context.Background(), in)
+}
+
+// DecideCtx is Decide with the context's deadline and cancellation bounding
+// the MILP rung (see System.DecideHourCtx). The greedy and stale rungs need
+// no solver, so even an already-expired context still yields an allocation.
+func (r *Resilient) DecideCtx(ctx context.Context, in HourInput) Decision {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	in = r.sanitize(in)
+
+	if !r.failSolver[in.Hour] {
+		if dec, err := r.tryMILP(ctx, in); err == nil {
+			r.remember(in.Hour, dec)
+			return dec
+		}
+	}
+
+	if !r.failFallback[in.Hour] {
+		if dec, ok := r.tryGreedy(in); ok {
+			dec.Degraded = DegradeFallback
+			r.sys.metrics.RecordDegraded(DegradeFallback)
+			r.remember(in.Hour, dec)
+			return dec
+		}
+	}
+
+	if dec, ok := r.staleReuse(in); ok {
+		dec.Degraded = DegradeStale
+		r.sys.metrics.RecordDegraded(DegradeStale)
+		return dec
+	}
+
+	// Shed: everything failed with nothing recent to reuse. All sites off is
+	// always safe (caps trivially hold); the hour's load is dropped.
+	r.sys.metrics.RecordDegraded(DegradeShed)
+	return Decision{
+		Sites:    make([]SiteAlloc, len(r.sys.Sites)),
+		Step:     StepOverCapacity,
+		Degraded: DegradeShed,
+	}
+}
+
+// sanitize patches corrupt fields with the last pristine values seen, and
+// remembers this hour's pristine fields for the next dropout. It never
+// rejects: a feed outage must degrade the answer, not abort the hour.
+func (r *Resilient) sanitize(in HourInput) HourInput {
+	n := len(r.sys.Sites)
+	if r.lastDemand == nil {
+		r.lastDemand = make([]float64, n)
+	}
+
+	demand := make([]float64, n)
+	for i := range demand {
+		var d float64
+		if i < len(in.DemandMW) {
+			d = in.DemandMW[i]
+		} else {
+			d = math.NaN() // missing entry: treat as corrupt
+		}
+		if math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
+			demand[i] = r.lastDemand[i]
+		} else {
+			demand[i] = d
+			r.lastDemand[i] = d
+		}
+	}
+	in.DemandMW = demand
+
+	if math.IsNaN(in.TotalLambda) || in.TotalLambda < 0 {
+		in.TotalLambda = 0
+	}
+	if math.IsInf(in.TotalLambda, 1) {
+		in.TotalLambda = r.sys.MaxThroughput()
+	}
+	if math.IsNaN(in.PremiumLambda) || in.PremiumLambda < 0 {
+		in.PremiumLambda = 0
+	}
+	if in.PremiumLambda > in.TotalLambda {
+		in.PremiumLambda = in.TotalLambda
+	}
+
+	if math.IsNaN(in.BudgetUSD) || in.BudgetUSD < 0 {
+		if r.haveBudget {
+			in.BudgetUSD = r.lastBudget
+		} else {
+			in.BudgetUSD = 0 // no history: serve premium only, the safe read
+		}
+	} else {
+		r.lastBudget = in.BudgetUSD
+		r.haveBudget = true
+	}
+
+	if len(in.Down) != 0 && len(in.Down) != n {
+		in.Down = nil // unusable availability feed: assume every site up
+	}
+	return in
+}
+
+// tryMILP runs the two-step algorithm with panic recovery: a solver bug
+// becomes a ladder step instead of a crashed controller.
+func (r *Resilient) tryMILP(ctx context.Context, in HourInput) (dec Decision, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("core: solver panic: %v", p)
+		}
+	}()
+	return r.sys.DecideHourCtx(ctx, in)
+}
+
+// tryGreedy runs the fallback dispatcher, also panic-recovered.
+func (r *Resilient) tryGreedy(in HourInput) (dec Decision, ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	sites := make([]fallback.Site, len(r.sys.models))
+	for i, sm := range r.sys.models {
+		dc := sm.site.DC
+		sites[i] = fallback.Site{
+			Name:        dc.Name,
+			MaxLambda:   sm.maxLambda,
+			MWPerLambda: sm.affine.A,
+			IdleMW:      sm.affine.B,
+			PowerCapMW:  dc.PowerCapMW,
+			SlackMW:     dc.RoundingSlackMW(),
+			DemandMW:    in.DemandMW[i],
+			Price:       r.sys.viewFn(i).Fn,
+			Down:        in.SiteDown(i),
+		}
+	}
+	fd := fallback.Dispatch(sites, fallback.Input{
+		TotalLambda:   in.TotalLambda,
+		PremiumLambda: in.PremiumLambda,
+		BudgetUSD:     in.BudgetUSD,
+	})
+	lambdas := make([]float64, len(fd.Sites))
+	for i, a := range fd.Sites {
+		lambdas[i] = a.Lambda
+	}
+	return r.planFrom(in, lambdas), true
+}
+
+// staleReuse replays the last-known-good allocation if it is recent enough,
+// with this hour's outages unloaded and the total scaled down to this hour's
+// arrivals. Power caps and SLA limits are per-site properties of the lambdas
+// themselves, so a cap-safe plan stays cap-safe under reuse.
+func (r *Resilient) staleReuse(in HourInput) (Decision, bool) {
+	if r.lastGood == nil {
+		return Decision{}, false
+	}
+	age := in.Hour - r.lastGoodHour
+	if age < 0 || age > r.opts.maxStale() {
+		return Decision{}, false
+	}
+	lambdas := make([]float64, len(r.lastGood.Sites))
+	total := 0.0
+	for i, a := range r.lastGood.Sites {
+		if in.SiteDown(i) {
+			continue
+		}
+		lambdas[i] = a.Lambda
+		total += a.Lambda
+	}
+	if total > in.TotalLambda && total > 0 {
+		f := in.TotalLambda / total
+		for i := range lambdas {
+			lambdas[i] *= f
+		}
+	}
+	return r.planFrom(in, lambdas), true
+}
+
+// planFrom prices a per-site allocation under the optimizer's models and
+// assembles a Decision, clamping each site to its SLA/cap limit.
+func (r *Resilient) planFrom(in HourInput, lambdas []float64) Decision {
+	d := Decision{Sites: make([]SiteAlloc, len(r.sys.models))}
+	for i, sm := range r.sys.models {
+		lam := lambdas[i]
+		if lam <= 0 || in.SiteDown(i) {
+			continue
+		}
+		if lam > sm.maxLambda {
+			lam = sm.maxLambda
+		}
+		p := sm.affine.A*lam + sm.affine.B
+		rate := r.sys.viewFn(i).Fn.Eval(in.DemandMW[i] + p)
+		d.Sites[i] = SiteAlloc{
+			Lambda:         lam,
+			PowerMW:        p,
+			PriceUSDPerMWh: rate,
+			CostUSD:        rate * p,
+			On:             true,
+		}
+		d.Served += lam
+		d.PredictedCostUSD += d.Sites[i].CostUSD
+	}
+	d.ServedPremium = math.Min(in.PremiumLambda, d.Served)
+	d.ServedOrdinary = d.Served - d.ServedPremium
+	d.Step = stepFor(in, d)
+	return d
+}
+
+// stepFor maps a degraded plan onto the closest two-step branch, so step
+// accounting stays meaningful across rungs.
+func stepFor(in HourInput, d Decision) Step {
+	slack := 1e-9 * (1 + in.TotalLambda)
+	switch {
+	case d.Served >= in.TotalLambda-slack:
+		return StepCostMin
+	case d.ServedPremium >= in.PremiumLambda-slack:
+		return StepBudgetCapped
+	default:
+		return StepOverCapacity
+	}
+}
+
+// remember stores a successful decision as the stale rung's reserve.
+func (r *Resilient) remember(hour int, dec Decision) {
+	cp := dec
+	cp.Sites = append([]SiteAlloc(nil), dec.Sites...)
+	r.lastGood = &cp
+	r.lastGoodHour = hour
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"billcap/internal/obs"
+)
+
+func goodInput(hour int) HourInput {
+	return HourInput{
+		Hour:          hour,
+		TotalLambda:   1.5e12,
+		PremiumLambda: 1.2e12,
+		DemandMW:      demand3(),
+		BudgetUSD:     math.Inf(1),
+	}
+}
+
+func TestResilientOptimalPath(t *testing.T) {
+	r := NewResilient(paperSystem(t, Options{}), ResilientOptions{})
+	dec := r.Decide(goodInput(0))
+	if dec.Degraded != DegradeNone {
+		t.Fatalf("healthy hour degraded to %v", dec.Degraded)
+	}
+	if rel := math.Abs(dec.Served-1.5e12) / 1.5e12; rel > 1e-6 {
+		t.Errorf("served %v of 1.5e12", dec.Served)
+	}
+}
+
+func TestSolveDeadlineYieldsTimeLimitIncumbent(t *testing.T) {
+	// A deadline that expires before the first branch-and-bound check forces
+	// the incumbent-manufacturing path on the paper-sized problem.
+	s := paperSystem(t, Options{SolveDeadline: time.Nanosecond})
+	dec, err := s.DecideHour(goodInput(0))
+	if err != nil {
+		t.Fatalf("deadline-limited decide failed: %v", err)
+	}
+	if dec.Degraded != DegradeTimeLimit {
+		t.Fatalf("degraded = %v, want %v", dec.Degraded, DegradeTimeLimit)
+	}
+	if dec.Solver.Timeouts == 0 {
+		t.Error("no timeout recorded in solver stats")
+	}
+	if dec.Served <= 0 {
+		t.Error("incumbent served nothing")
+	}
+	for i, a := range dec.Sites {
+		dc := s.Sites[i].DC
+		if a.PowerMW > dc.PowerCapMW+1e-9 {
+			t.Errorf("site %d incumbent draw %v exceeds cap %v", i, a.PowerMW, dc.PowerCapMW)
+		}
+	}
+}
+
+func TestResilientFallbackOnSolverFailure(t *testing.T) {
+	sys := paperSystem(t, Options{})
+	r := NewResilient(sys, ResilientOptions{})
+	r.InjectSolverFailure(5)
+	dec := r.Decide(goodInput(5))
+	if dec.Degraded != DegradeFallback {
+		t.Fatalf("degraded = %v, want %v", dec.Degraded, DegradeFallback)
+	}
+	if rel := math.Abs(dec.ServedPremium-1.2e12) / 1.2e12; rel > 1e-6 {
+		t.Errorf("fallback served %v premium of 1.2e12", dec.ServedPremium)
+	}
+	for i, a := range dec.Sites {
+		dc := sys.Sites[i].DC
+		if a.PowerMW > dc.PowerCapMW+1e-9 {
+			t.Errorf("site %d fallback draw %v exceeds cap %v", i, a.PowerMW, dc.PowerCapMW)
+		}
+	}
+}
+
+func TestResilientStaleReuseAndShed(t *testing.T) {
+	r := NewResilient(paperSystem(t, Options{}), ResilientOptions{MaxStaleHours: 2})
+	good := r.Decide(goodInput(0))
+	if good.Degraded != DegradeNone {
+		t.Fatalf("seed hour degraded: %v", good.Degraded)
+	}
+
+	// Both solver rungs down, last good decision 1 hour old → stale reuse,
+	// scaled down to the smaller arrivals.
+	for h := 1; h <= 4; h++ {
+		r.InjectSolverFailure(h)
+		r.InjectFallbackFailure(h)
+	}
+	in := goodInput(1)
+	in.TotalLambda = 1e12
+	in.PremiumLambda = 8e11
+	dec := r.Decide(in)
+	if dec.Degraded != DegradeStale {
+		t.Fatalf("degraded = %v, want %v", dec.Degraded, DegradeStale)
+	}
+	if dec.Served > in.TotalLambda*(1+1e-9) {
+		t.Errorf("stale reuse served %v > arrivals %v", dec.Served, in.TotalLambda)
+	}
+	if dec.Served <= 0 {
+		t.Error("stale reuse served nothing")
+	}
+
+	// 4 hours past the last good decision with MaxStaleHours=2 → shed.
+	dec = r.Decide(goodInput(4))
+	if dec.Degraded != DegradeShed {
+		t.Fatalf("degraded = %v, want %v", dec.Degraded, DegradeShed)
+	}
+	if dec.Served != 0 {
+		t.Errorf("shed hour served %v", dec.Served)
+	}
+	if len(dec.Sites) != r.System().NumSites() {
+		t.Errorf("shed decision has %d site entries", len(dec.Sites))
+	}
+}
+
+func TestResilientStaleUnloadsDownSites(t *testing.T) {
+	r := NewResilient(paperSystem(t, Options{}), ResilientOptions{})
+	if dec := r.Decide(goodInput(0)); dec.Degraded != DegradeNone {
+		t.Fatalf("seed hour degraded: %v", dec.Degraded)
+	}
+	r.InjectSolverFailure(1)
+	r.InjectFallbackFailure(1)
+	in := goodInput(1)
+	in.Down = []bool{true, false, false}
+	dec := r.Decide(in)
+	if dec.Degraded != DegradeStale {
+		t.Fatalf("degraded = %v, want %v", dec.Degraded, DegradeStale)
+	}
+	if dec.Sites[0].Lambda != 0 || dec.Sites[0].On {
+		t.Errorf("down site still loaded in stale reuse: %+v", dec.Sites[0])
+	}
+}
+
+func TestResilientSanitizesCorruptFeeds(t *testing.T) {
+	r := NewResilient(paperSystem(t, Options{}), ResilientOptions{})
+	if dec := r.Decide(goodInput(0)); dec.Degraded != DegradeNone {
+		t.Fatalf("seed hour degraded: %v", dec.Degraded)
+	}
+	// Hour 1: the demand feed drops (NaN) and the budget goes negative. The
+	// last pristine values substitute and the MILP still answers.
+	in := goodInput(1)
+	in.DemandMW = []float64{math.NaN(), math.NaN(), math.NaN()}
+	in.BudgetUSD = -100
+	dec := r.Decide(in)
+	if dec.Degraded != DegradeNone {
+		t.Fatalf("patched input degraded to %v", dec.Degraded)
+	}
+	if dec.Served <= 0 {
+		t.Error("patched hour served nothing")
+	}
+	// A wrong-arity demand feed is also survivable.
+	in = goodInput(2)
+	in.DemandMW = []float64{170}
+	if dec := r.Decide(in); dec.Served <= 0 {
+		t.Error("short demand feed served nothing")
+	}
+}
+
+func TestResilientCancelledContextStillDecides(t *testing.T) {
+	r := NewResilient(paperSystem(t, Options{}), ResilientOptions{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dec := r.DecideCtx(ctx, goodInput(0))
+	if dec.Served <= 0 {
+		t.Fatalf("cancelled context produced an empty decision (%v rung)", dec.Degraded)
+	}
+	if dec.Degraded == DegradeNone {
+		// A pre-cancelled context cannot complete a clean optimal solve; it
+		// must land on a degraded rung (time-limit incumbent or below).
+		t.Errorf("cancelled context claims a clean optimal solve")
+	}
+}
+
+func TestDecideHourDownSite(t *testing.T) {
+	s := paperSystem(t, Options{})
+	in := goodInput(0)
+	in.TotalLambda = 1e12
+	in.PremiumLambda = 8e11
+	in.Down = []bool{false, true, false}
+	dec, err := s.DecideHour(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Sites[1].On || dec.Sites[1].Lambda != 0 {
+		t.Fatalf("down site powered: %+v", dec.Sites[1])
+	}
+	if dec.Served <= 0 {
+		t.Error("outage hour served nothing")
+	}
+}
+
+func TestResilientMetricsCountRungs(t *testing.T) {
+	reg := obs.NewRegistry()
+	sys := paperSystem(t, Options{})
+	sys.SetMetrics(NewMetrics(reg))
+	r := NewResilient(sys, ResilientOptions{MaxStaleHours: 1})
+	r.Decide(goodInput(0))
+	r.InjectSolverFailure(1)
+	r.Decide(goodInput(1))
+	r.InjectSolverFailure(2)
+	r.InjectFallbackFailure(2)
+	r.Decide(goodInput(2))
+	r.InjectSolverFailure(9)
+	r.InjectFallbackFailure(9)
+	r.Decide(goodInput(9)) // too stale → shed
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"billcap_fallback_used_total 1",
+		"billcap_stale_decisions_total 1",
+		`billcap_decide_degraded_total{rung="fallback"} 1`,
+		`billcap_decide_degraded_total{rung="stale"} 1`,
+		`billcap_decide_degraded_total{rung="shed"} 1`,
+		`billcap_decide_degraded_total{rung="none"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}

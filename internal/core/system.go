@@ -12,10 +12,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"billcap/internal/dcmodel"
+	"billcap/internal/milp"
 	"billcap/internal/pricing"
 )
 
@@ -69,6 +72,20 @@ type Options struct {
 	// price makers heavily if this cap is exceeded"). 0 → 250 $/MWh, an
 	// order of magnitude above the highest Policy 1 rate.
 	CapPenaltyUSDPerMWh float64
+	// SolveDeadline bounds the wall-clock time of each MILP solve inside a
+	// decision; 0 → unlimited. When a solve expires, its best incumbent is
+	// used and the decision is marked DegradeTimeLimit — a feasible but
+	// possibly suboptimal answer instead of a hang (the real-time controller
+	// must answer every invocation period).
+	SolveDeadline time.Duration
+	// MaxSolveNodes caps branch-and-bound nodes per solve; 0 → the solver
+	// default.
+	MaxSolveNodes int
+}
+
+// solveOptions derives the per-solve MILP options from the system options.
+func (s *System) solveOptions() milp.Options {
+	return milp.Options{Deadline: s.opts.SolveDeadline, MaxNodes: s.opts.MaxSolveNodes}
 }
 
 func (o Options) capPenalty() float64 {
@@ -178,23 +195,37 @@ type HourInput struct {
 	DemandMW []float64
 	// BudgetUSD is the hour's cost budget; +Inf disables capping.
 	BudgetUSD float64
+	// Down marks sites that are unavailable this hour (outage); nil means
+	// every site is up. A down site is forced off in the MILP and receives
+	// no load from the fallback dispatcher.
+	Down []bool
 }
+
+// SiteDown reports whether site i is marked unavailable.
+func (in HourInput) SiteDown(i int) bool { return i < len(in.Down) && in.Down[i] }
+
+// ErrBadInput marks validation failures: the request itself is malformed
+// (negative loads, NaN demand, wrong arity), as opposed to solver or model
+// failures. API layers map it to HTTP 400.
+var ErrBadInput = errors.New("core: bad input")
 
 // Validate reports the first problem with the input against the system.
 func (s *System) ValidateInput(in HourInput) error {
 	switch {
-	case in.TotalLambda < 0:
-		return fmt.Errorf("core: negative total load %v", in.TotalLambda)
-	case in.PremiumLambda < 0 || in.PremiumLambda > in.TotalLambda+1e-9:
-		return fmt.Errorf("core: premium load %v outside [0, %v]", in.PremiumLambda, in.TotalLambda)
+	case math.IsNaN(in.TotalLambda) || in.TotalLambda < 0:
+		return fmt.Errorf("%w: negative total load %v", ErrBadInput, in.TotalLambda)
+	case math.IsNaN(in.PremiumLambda) || in.PremiumLambda < 0 || in.PremiumLambda > in.TotalLambda+1e-9:
+		return fmt.Errorf("%w: premium load %v outside [0, %v]", ErrBadInput, in.PremiumLambda, in.TotalLambda)
 	case len(in.DemandMW) != len(s.Sites):
-		return fmt.Errorf("core: %d demand entries for %d sites", len(in.DemandMW), len(s.Sites))
+		return fmt.Errorf("%w: %d demand entries for %d sites", ErrBadInput, len(in.DemandMW), len(s.Sites))
 	case math.IsNaN(in.BudgetUSD) || in.BudgetUSD < 0:
-		return fmt.Errorf("core: bad budget %v", in.BudgetUSD)
+		return fmt.Errorf("%w: bad budget %v", ErrBadInput, in.BudgetUSD)
+	case len(in.Down) != 0 && len(in.Down) != len(s.Sites):
+		return fmt.Errorf("%w: %d availability entries for %d sites", ErrBadInput, len(in.Down), len(s.Sites))
 	}
 	for i, d := range in.DemandMW {
 		if d < 0 || math.IsNaN(d) {
-			return fmt.Errorf("core: bad demand %v at site %d", d, i)
+			return fmt.Errorf("%w: bad demand %v at site %d", ErrBadInput, d, i)
 		}
 	}
 	return nil

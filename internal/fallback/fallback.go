@@ -1,0 +1,290 @@
+// Package fallback implements the controller's deterministic greedy
+// dispatcher — the safety rung of the degradation ladder. When the MILP
+// stalls, panics or is forced to fail, this dispatcher still has to route
+// the hour's traffic, so it is built to be total: it never returns an
+// error, never panics on corrupt numbers, and its plan always respects
+// per-site power caps and the SLA admission limit.
+//
+// The algorithm fills the cheapest price segments first: each site's cost
+// curve under a locational step policy is piecewise linear in its load, so
+// the dispatcher repeatedly takes the chunk of capacity (up to the next
+// price boundary, the power cap or the remaining demand) with the lowest
+// cost per admitted request. Premium traffic is served first and
+// unconditionally (the paper's premium-QoS-first mandate, §V-B); ordinary
+// traffic is then admitted only while the predicted bill stays within the
+// hour's budget.
+//
+// The result is deliberately suboptimal — it ignores the price-maker
+// feedback subtleties the MILP models exactly — but it is O(sites ×
+// segments), needs no solver, and is safe by construction.
+package fallback
+
+import (
+	"math"
+
+	"billcap/internal/piecewise"
+)
+
+// Site describes one data center as the greedy dispatcher sees it.
+type Site struct {
+	// Name labels the site in reports.
+	Name string
+	// MaxLambda is the largest arrival rate the site can carry within its
+	// SLA, in requests/hour. The dispatcher never allocates above it.
+	MaxLambda float64
+	// MWPerLambda (a) and IdleMW (b) form the affine power model
+	// p = a·λ + b used for planning.
+	MWPerLambda float64
+	IdleMW      float64
+	// PowerCapMW is the supplier cap Ps; planned draw stays at least
+	// SlackMW below it so the discrete realization cannot trip it.
+	PowerCapMW float64
+	// SlackMW is the headroom reserved for discretization (e.g.
+	// dcmodel.Site.RoundingSlackMW); 0 reserves none.
+	SlackMW float64
+	// DemandMW is the observed background regional draw.
+	DemandMW float64
+	// Price maps total regional load in MW to $/MWh.
+	Price piecewise.StepFunction
+	// Down marks the site unavailable (outage); it receives no load.
+	Down bool
+}
+
+// Input is one hour's dispatching demand.
+type Input struct {
+	// TotalLambda and PremiumLambda are the hour's arrivals in
+	// requests/hour; premium is served first and regardless of budget.
+	TotalLambda   float64
+	PremiumLambda float64
+	// BudgetUSD bounds the predicted bill while admitting ordinary
+	// traffic; +Inf disables the bound. NaN or negative is treated as 0
+	// (serve premium only) — the conservative reading of a corrupt budget.
+	BudgetUSD float64
+}
+
+// Alloc is the dispatcher's plan for one site.
+type Alloc struct {
+	Lambda         float64
+	PowerMW        float64
+	PriceUSDPerMWh float64
+	CostUSD        float64
+	On             bool
+}
+
+// Decision is the greedy dispatch plan.
+type Decision struct {
+	Sites                                 []Alloc
+	Served, ServedPremium, ServedOrdinary float64
+	// CostUSD is the predicted bill of the plan under the observed demand.
+	CostUSD float64
+}
+
+// siteState is the mutable fill state of one usable site.
+type siteState struct {
+	idx    int     // index into the input slice
+	a, b   float64 // affine power model
+	demand float64 // sanitized background draw
+	capLam float64 // min(SLA limit, power-cap limit)
+	price  piecewise.StepFunction
+	lam    float64 // current allocation
+	cost   float64 // current predicted cost at lam
+	slack  float64
+}
+
+// sanitize clamps a corrupt scalar into [0, ∞); NaN becomes 0.
+func sanitize(v float64) float64 {
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Dispatch routes the hour's traffic greedily. It is a pure function: the
+// same sites and input always produce the identical plan (ties break toward
+// the lower site index), which keeps the fallback rung reproducible in
+// traces and tests.
+func Dispatch(sites []Site, in Input) Decision {
+	total := sanitize(in.TotalLambda)
+	if math.IsInf(total, 1) {
+		total = 0
+	}
+	premium := sanitize(in.PremiumLambda)
+	if premium > total {
+		premium = total
+	}
+	budget := in.BudgetUSD
+	if math.IsNaN(budget) || budget < 0 {
+		budget = 0
+	}
+
+	states := usable(sites)
+	servePhase(states, premium, math.Inf(1))
+	served := 0.0
+	for _, st := range states {
+		served += st.lam
+	}
+	servedPremium := math.Min(premium, served)
+	servePhase(states, total-premium, budget)
+
+	out := Decision{Sites: make([]Alloc, len(sites))}
+	for _, st := range states {
+		if st.lam <= 0 {
+			continue
+		}
+		p := st.a*st.lam + st.b
+		rate := st.price.Eval(st.demand + p)
+		alloc := Alloc{
+			Lambda:         st.lam,
+			PowerMW:        p,
+			PriceUSDPerMWh: rate,
+			CostUSD:        rate * p,
+			On:             true,
+		}
+		out.Sites[st.idx] = alloc
+		out.Served += st.lam
+		out.CostUSD += alloc.CostUSD
+	}
+	out.ServedPremium = math.Min(servedPremium, out.Served)
+	out.ServedOrdinary = out.Served - out.ServedPremium
+	return out
+}
+
+// usable filters and sanitizes the sites the greedy can actually load.
+func usable(sites []Site) []*siteState {
+	var out []*siteState
+	for i, s := range sites {
+		if s.Down {
+			continue
+		}
+		a, b := s.MWPerLambda, s.IdleMW
+		if math.IsNaN(a) || a < 0 || math.IsNaN(b) || b < 0 {
+			continue
+		}
+		maxLam := sanitize(s.MaxLambda)
+		if maxLam <= 0 || math.IsInf(maxLam, 1) {
+			continue
+		}
+		slack := sanitize(s.SlackMW)
+		capMW := s.PowerCapMW - slack
+		if math.IsNaN(capMW) || b > capMW {
+			continue // cannot even idle under the cap
+		}
+		capLam := maxLam
+		if a > 0 {
+			capLam = math.Min(capLam, (capMW-b)/a)
+		}
+		if capLam <= 0 {
+			continue
+		}
+		out = append(out, &siteState{
+			idx: i, a: a, b: b,
+			demand: sanitize(s.DemandMW),
+			capLam: capLam, price: s.Price, slack: slack,
+		})
+	}
+	return out
+}
+
+// chunkEnd returns the next allocation level at which site st's marginal
+// price changes: the smallest price-boundary crossing above the current
+// fill, or the site's capacity limit.
+func (st *siteState) chunkEnd() float64 {
+	end := st.capLam
+	if st.a <= 0 {
+		return end
+	}
+	for _, t := range st.price.Thresholds() {
+		// Load t is where the next segment starts; stay slack below it so
+		// discretization cannot push the realized draw across.
+		p := t - st.demand - st.slack
+		lam := (p - st.b) / st.a
+		if lam > st.lam+st.eps() && lam < end {
+			end = lam
+		}
+	}
+	return end
+}
+
+// eps is the site's scale-aware progress floor: workloads run around 1e12
+// requests/hour, where absolute tolerances drown in float ULPs.
+func (st *siteState) eps() float64 { return 1e-9 * (1 + st.capLam) }
+
+// costAt is the predicted bill of site st when loaded to lam, priced at the
+// step rate that load level actually lands in.
+func (st *siteState) costAt(lam float64) float64 {
+	if lam <= 0 {
+		return 0
+	}
+	p := st.a*lam + st.b
+	return st.price.Eval(st.demand+p) * p
+}
+
+// servePhase admits up to amount requests/hour across the sites, cheapest
+// chunk first, keeping the total predicted cost within budget. It mutates
+// the states in place; premium calls it with an infinite budget.
+func servePhase(states []*siteState, amount, budget float64) {
+	remaining := amount
+	if math.IsNaN(remaining) || remaining <= 0 {
+		return
+	}
+	floor := 1e-9 * (1 + amount)
+	totalCost := 0.0
+	for _, st := range states {
+		totalCost += st.cost
+	}
+	for remaining > floor {
+		// Pick the cheapest next chunk across all sites.
+		var best *siteState
+		bestEnd, bestUnit := 0.0, math.Inf(1)
+		for _, st := range states {
+			if st.lam >= st.capLam-st.eps() {
+				continue
+			}
+			end := st.chunkEnd()
+			if end <= st.lam+st.eps() {
+				continue
+			}
+			unit := (st.costAt(end) - st.cost) / (end - st.lam)
+			if unit < bestUnit {
+				best, bestEnd, bestUnit = st, end, unit
+			}
+		}
+		if best == nil {
+			return // fleet exhausted
+		}
+		delta := math.Min(remaining, bestEnd-best.lam)
+		// Within the chunk the rate is constant, so cost is affine in the
+		// allocation: trim delta to what the budget still affords (the
+		// chunk's entry jump — a price-segment crossing or turning the site
+		// on — is paid in full or not at all).
+		if !math.IsInf(budget, 1) {
+			mid := best.lam + delta/2
+			rate := best.price.Eval(best.demand + best.a*mid + best.b)
+			afford := func(d float64) float64 {
+				return totalCost - best.cost + rate*(best.a*(best.lam+d)+best.b)
+			}
+			if afford(delta) > budget+1e-9 {
+				if best.a <= 0 || rate <= 0 {
+					return // the jump alone busts the budget
+				}
+				d := (budget - (totalCost - best.cost) - rate*best.b) / (rate * best.a)
+				d -= best.lam
+				if d <= best.eps() {
+					return // cheapest chunk is unaffordable; pricier ones are too
+				}
+				delta = math.Min(delta, d)
+			}
+		}
+		newLam := best.lam + delta
+		newCost := best.costAt(newLam)
+		if !math.IsInf(budget, 1) && totalCost-best.cost+newCost > budget+1e-9*(1+budget) {
+			// The constant-rate estimate under-priced a segment crossing
+			// inside the discretization backoff window; drop the move and
+			// stop rather than overrun the budget.
+			return
+		}
+		totalCost += newCost - best.cost
+		best.lam, best.cost = newLam, newCost
+		remaining -= delta
+	}
+}

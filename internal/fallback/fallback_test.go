@@ -1,0 +1,153 @@
+package fallback
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"billcap/internal/piecewise"
+)
+
+// twoSites is a hand-checkable fleet: a cheap flat-priced site and an
+// expensive one, both with the affine model p = 1e-10·λ + 10 MW.
+func twoSites() []Site {
+	return []Site{
+		{
+			Name: "cheap", MaxLambda: 5e11, MWPerLambda: 1e-10, IdleMW: 10,
+			PowerCapMW: 100, DemandMW: 50, Price: piecewise.Flat(10),
+		},
+		{
+			Name: "dear", MaxLambda: 5e11, MWPerLambda: 1e-10, IdleMW: 10,
+			PowerCapMW: 100, DemandMW: 50, Price: piecewise.Flat(30),
+		},
+	}
+}
+
+func TestFillsCheapestSiteFirst(t *testing.T) {
+	d := Dispatch(twoSites(), Input{TotalLambda: 4e11, PremiumLambda: 0, BudgetUSD: math.Inf(1)})
+	if d.Sites[0].Lambda < 3.99e11 || d.Sites[1].On {
+		t.Fatalf("cheap site got %v, dear site on=%v; want all load on the cheap site",
+			d.Sites[0].Lambda, d.Sites[1].On)
+	}
+	if math.Abs(d.Served-4e11) > 1e9*1e-6 {
+		t.Errorf("served %v of 4e11", d.Served)
+	}
+}
+
+func TestOverflowsToSecondSiteAtCap(t *testing.T) {
+	// Cap limit per site: (100−10)/1e-10 = 9e11, SLA limit 5e11 → 5e11 each.
+	d := Dispatch(twoSites(), Input{TotalLambda: 8e11, BudgetUSD: math.Inf(1)})
+	if !d.Sites[0].On || !d.Sites[1].On {
+		t.Fatalf("both sites should be on: %+v", d.Sites)
+	}
+	if d.Sites[0].Lambda > 5e11*(1+1e-9) || d.Sites[1].Lambda > 5e11*(1+1e-9) {
+		t.Errorf("SLA limit exceeded: %+v", d.Sites)
+	}
+	if rel := math.Abs(d.Served-8e11) / 8e11; rel > 1e-6 {
+		t.Errorf("served %v of 8e11", d.Served)
+	}
+}
+
+func TestPremiumServedEvenOnZeroBudget(t *testing.T) {
+	d := Dispatch(twoSites(), Input{TotalLambda: 6e11, PremiumLambda: 2e11, BudgetUSD: 0})
+	if rel := math.Abs(d.ServedPremium-2e11) / 2e11; rel > 1e-6 {
+		t.Fatalf("premium served %v of 2e11 under a zero budget", d.ServedPremium)
+	}
+	if d.ServedOrdinary > 6e11*1e-9 {
+		t.Errorf("ordinary %v admitted despite a zero budget", d.ServedOrdinary)
+	}
+	if d.CostUSD <= 0 {
+		t.Errorf("premium service cannot be free, cost=%v", d.CostUSD)
+	}
+}
+
+func TestBudgetBoundsOrdinaryAdmission(t *testing.T) {
+	uncapped := Dispatch(twoSites(), Input{TotalLambda: 8e11, PremiumLambda: 1e11, BudgetUSD: math.Inf(1)})
+	budget := uncapped.CostUSD / 2
+	d := Dispatch(twoSites(), Input{TotalLambda: 8e11, PremiumLambda: 1e11, BudgetUSD: budget})
+	if d.CostUSD > budget*(1+1e-9)+1e-6 {
+		t.Fatalf("cost %v exceeds budget %v", d.CostUSD, budget)
+	}
+	if d.ServedOrdinary <= 0 {
+		t.Errorf("a half budget should still admit some ordinary traffic")
+	}
+	if d.Served >= uncapped.Served {
+		t.Errorf("capped run served %v ≥ uncapped %v", d.Served, uncapped.Served)
+	}
+}
+
+func TestDownSiteGetsNothing(t *testing.T) {
+	sites := twoSites()
+	sites[0].Down = true
+	d := Dispatch(sites, Input{TotalLambda: 4e11, BudgetUSD: math.Inf(1)})
+	if d.Sites[0].On || d.Sites[0].Lambda != 0 {
+		t.Fatalf("down site was loaded: %+v", d.Sites[0])
+	}
+	if !d.Sites[1].On {
+		t.Errorf("surviving site should carry the load")
+	}
+}
+
+func TestStepBoundaryRespected(t *testing.T) {
+	// One site whose price jumps at 120 MW regional load. Demand 50, idle
+	// 10: the cheap segment ends at 60 MW own draw → λ = 5e11.
+	s := []Site{{
+		Name: "stepped", MaxLambda: 9e11, MWPerLambda: 1e-10, IdleMW: 10,
+		PowerCapMW: 200, DemandMW: 50,
+		Price: piecewise.MustNew([]float64{120}, []float64{10, 40}),
+	}}
+	d := Dispatch(s, Input{TotalLambda: 9e11, BudgetUSD: math.Inf(1)})
+	// Uncapped budget: everything is admitted, crossing into the dear
+	// segment, and the whole draw is billed at the dear rate.
+	if rel := math.Abs(d.Served-9e11) / 9e11; rel > 1e-6 {
+		t.Fatalf("served %v of 9e11 with no budget", d.Served)
+	}
+	if d.Sites[0].PriceUSDPerMWh != 40 {
+		t.Errorf("price %v, want the 40 $/MWh segment", d.Sites[0].PriceUSDPerMWh)
+	}
+
+	// A budget that only affords the cheap segment keeps the plan below
+	// the boundary: 10 $/MWh × 70 MW = 700 $.
+	d = Dispatch(s, Input{TotalLambda: 9e11, BudgetUSD: 700})
+	if load := d.Sites[0].PowerMW + 50; load > 120 {
+		t.Errorf("regional load %v crossed the 120 MW boundary on a cheap-only budget", load)
+	}
+	if d.Sites[0].PriceUSDPerMWh > 10 {
+		t.Errorf("price %v, want the cheap segment", d.Sites[0].PriceUSDPerMWh)
+	}
+}
+
+func TestCorruptInputsNeverPanic(t *testing.T) {
+	nan := math.NaN()
+	sites := []Site{
+		{Name: "nan", MaxLambda: nan, MWPerLambda: nan, IdleMW: nan,
+			PowerCapMW: nan, DemandMW: nan, Price: piecewise.Flat(nan)},
+		{Name: "neg", MaxLambda: -5, MWPerLambda: -1, IdleMW: -3,
+			PowerCapMW: -10, DemandMW: -50, Price: piecewise.Flat(10)},
+		twoSites()[0],
+	}
+	for _, in := range []Input{
+		{TotalLambda: nan, PremiumLambda: nan, BudgetUSD: nan},
+		{TotalLambda: math.Inf(1), PremiumLambda: 1e11, BudgetUSD: -4},
+		{TotalLambda: 1e11, PremiumLambda: 2e11, BudgetUSD: math.Inf(1)},
+	} {
+		d := Dispatch(sites, in)
+		if len(d.Sites) != len(sites) {
+			t.Fatalf("lost site entries: %d for %d sites", len(d.Sites), len(sites))
+		}
+		for i, a := range d.Sites {
+			if math.IsNaN(a.Lambda) || a.Lambda < 0 {
+				t.Errorf("input %+v: site %d got lambda %v", in, i, a.Lambda)
+			}
+		}
+	}
+}
+
+func TestDispatchIsDeterministic(t *testing.T) {
+	in := Input{TotalLambda: 7.3e11, PremiumLambda: 2.9e11, BudgetUSD: 1234}
+	a := Dispatch(twoSites(), in)
+	b := Dispatch(twoSites(), in)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same input produced different plans:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,119 @@
+package fallback
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"billcap/internal/piecewise"
+)
+
+// randomFleet builds a fleet with realistic-but-randomized physics: a few
+// sites around 100 MW caps serving ~1e11–1e12 req/h, step policies with
+// 2–6 segments, and a sprinkle of outages.
+func randomFleet(rng *rand.Rand) []Site {
+	n := 1 + rng.Intn(6)
+	sites := make([]Site, n)
+	for i := range sites {
+		segs := 2 + rng.Intn(5)
+		thresholds := make([]float64, segs-1)
+		lo := 50 + rng.Float64()*150
+		for k := range thresholds {
+			lo += 30 + rng.Float64()*200
+			thresholds[k] = lo
+		}
+		rates := make([]float64, segs)
+		r := 5 + rng.Float64()*10
+		for k := range rates {
+			rates[k] = r
+			// Mostly increasing, occasionally dipping: the dispatcher must
+			// not assume monotone prices.
+			r += -2 + rng.Float64()*12
+			if r < 1 {
+				r = 1
+			}
+		}
+		sites[i] = Site{
+			Name:        "s",
+			MaxLambda:   1e11 + rng.Float64()*9e11,
+			MWPerLambda: 5e-11 + rng.Float64()*3e-10,
+			IdleMW:      2 + rng.Float64()*40,
+			PowerCapMW:  40 + rng.Float64()*160,
+			SlackMW:     rng.Float64() * 2,
+			DemandMW:    rng.Float64() * 500,
+			Price:       piecewise.MustNew(thresholds, rates),
+			Down:        rng.Intn(5) == 0,
+		}
+	}
+	return sites
+}
+
+// TestDispatchProperties is the fallback's safety contract: for randomized
+// fleets and hours, the greedy plan always (1) stays within every site's
+// power cap (minus the discretization slack), (2) respects the SLA
+// admission limit per site, (3) serves premium before ordinary traffic, and
+// (4) only admits ordinary traffic while the predicted bill fits the budget.
+func TestDispatchProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260805))
+	for trial := 0; trial < 500; trial++ {
+		sites := randomFleet(rng)
+		capacity := 0.0
+		for _, s := range sites {
+			if !s.Down {
+				capacity += s.MaxLambda
+			}
+		}
+		total := rng.Float64() * 2 * (capacity + 1)
+		in := Input{
+			TotalLambda:   total,
+			PremiumLambda: rng.Float64() * total * 1.1, // sometimes > total
+			BudgetUSD:     math.Inf(1),
+		}
+		switch rng.Intn(3) {
+		case 0:
+			in.BudgetUSD = 0
+		case 1:
+			in.BudgetUSD = rng.Float64() * 5000
+		}
+
+		d := Dispatch(sites, in)
+
+		premium := math.Min(math.Max(in.PremiumLambda, 0), total)
+		if d.Served > total*(1+1e-9)+1 {
+			t.Fatalf("trial %d: served %v > arrivals %v", trial, d.Served, total)
+		}
+		for i, a := range d.Sites {
+			s := sites[i]
+			if a.Lambda == 0 {
+				continue
+			}
+			if s.Down {
+				t.Fatalf("trial %d: down site %d loaded with %v", trial, i, a.Lambda)
+			}
+			if a.Lambda > s.MaxLambda*(1+1e-9) {
+				t.Fatalf("trial %d: site %d lambda %v exceeds SLA limit %v",
+					trial, i, a.Lambda, s.MaxLambda)
+			}
+			planned := s.MWPerLambda*a.Lambda + s.IdleMW
+			if planned > s.PowerCapMW-s.SlackMW+1e-9*(1+s.PowerCapMW) {
+				t.Fatalf("trial %d: site %d draw %v MW exceeds cap %v − slack %v",
+					trial, i, planned, s.PowerCapMW, s.SlackMW)
+			}
+		}
+		// Premium-first: ordinary traffic is only served once premium is
+		// fully admitted (or the fleet ran out of capacity serving it).
+		wantPremium := math.Min(premium, d.Served)
+		if math.Abs(d.ServedPremium-wantPremium) > 1e-6*(1+wantPremium) {
+			t.Fatalf("trial %d: servedPremium %v, want min(premium=%v, served=%v)",
+				trial, d.ServedPremium, premium, d.Served)
+		}
+		// Budget: admitting ordinary traffic never busts the budget
+		// (premium alone may, by mandate).
+		if !math.IsInf(in.BudgetUSD, 1) && d.ServedOrdinary > 1e-6*(1+total) {
+			if d.CostUSD > in.BudgetUSD*(1+1e-9)+1e-6 {
+				t.Fatalf("trial %d: cost %v > budget %v with ordinary traffic %v admitted",
+					trial, d.CostUSD, in.BudgetUSD, d.ServedOrdinary)
+			}
+		}
+	}
+}

@@ -1,12 +1,17 @@
 package lpparse
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
 // FuzzParse checks that arbitrary input never panics the parser and that
-// whatever parses also solves without panicking.
+// whatever parses also solves without panicking. The corpus is seeded from
+// inline edge cases plus every example model in testdata/ — including a real
+// hour-model dump from core.WriteHourModel, so mutations start from the
+// grammar the production path actually emits.
 func FuzzParse(f *testing.F) {
 	seeds := []string{
 		"min: x + y\nx + 2y >= 4\n3x + y >= 6\n",
@@ -20,6 +25,25 @@ func FuzzParse(f *testing.F) {
 	}
 	for _, s := range seeds {
 		f.Add(s)
+	}
+	files, err := filepath.Glob(filepath.Join("testdata", "*.lp"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(files) == 0 {
+		f.Fatal("no .lp corpus files under testdata/")
+	}
+	for _, name := range files {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		// Corpus files must parse cleanly: a typo here would silently seed
+		// the fuzzer with garbage instead of valid grammar.
+		if _, err := Parse(strings.NewReader(string(src))); err != nil {
+			f.Fatalf("corpus file %s does not parse: %v", name, err)
+		}
+		f.Add(string(src))
 	}
 	f.Fuzz(func(t *testing.T, src string) {
 		p, err := Parse(strings.NewReader(src))

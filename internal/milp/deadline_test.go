@@ -1,0 +1,112 @@
+package milp
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"billcap/internal/lp"
+)
+
+// hardKnapsack builds a strongly-correlated multi-knapsack over n binaries:
+// the kind of instance whose optimality proof needs thousands of
+// branch-and-bound nodes, so a millisecond deadline reliably fires mid-search.
+// Profits track weights closely (the classic hard regime) and x = 0 is
+// feasible, so a rounding dive can always manufacture an incumbent.
+func hardKnapsack(n int) (*Problem, [][]float64, []float64) {
+	p := NewProblem()
+	p.SetMaximize(true)
+	seed := uint64(0x9e3779b97f4a7c15)
+	next := func() float64 {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		return float64(seed%100) + 1 // 1..100
+	}
+	weights := make([][]float64, 3)
+	for r := range weights {
+		weights[r] = make([]float64, n)
+	}
+	for j := 0; j < n; j++ {
+		w := next()
+		p.AddBinVar("x", w+10) // profit ≈ weight → weak LP bounds
+		weights[0][j] = w
+		weights[1][j] = next()
+		weights[2][j] = w + weights[1][j]/2
+	}
+	rhs := make([]float64, 3)
+	for r, ws := range weights {
+		terms := make([]lp.Term, n)
+		total := 0.0
+		for j, w := range ws {
+			terms[j] = lp.Term{Var: j, Coef: w}
+			total += w
+		}
+		rhs[r] = math.Floor(total / 2)
+		p.AddConstraint(terms, lp.LE, rhs[r])
+	}
+	return p, weights, rhs
+}
+
+func TestDeadlineReturnsFeasibleIncumbent(t *testing.T) {
+	p, weights, rhs := hardKnapsack(40)
+	sol := p.SolveWithOptions(Options{Deadline: time.Millisecond})
+	if sol.Status != TimeLimit {
+		t.Fatalf("status = %v, want time-limit (nodes=%d elapsed=%v)", sol.Status, sol.Nodes, sol.Elapsed)
+	}
+	if sol.X == nil {
+		t.Fatal("deadline returned no incumbent")
+	}
+	if sol.Elapsed > 2*time.Second {
+		t.Fatalf("deadline solve took %v — the deadline did not bound the search", sol.Elapsed)
+	}
+	if sol.Gap < 0 {
+		t.Errorf("negative remaining gap %v", sol.Gap)
+	}
+	// The incumbent must be integral and satisfy every knapsack row.
+	for v := range sol.X {
+		if p.IsInteger(v) && sol.X[v] != math.Round(sol.X[v]) {
+			t.Fatalf("x[%d] = %v not integral", v, sol.X[v])
+		}
+	}
+	for r, ws := range weights {
+		got := 0.0
+		for j, w := range ws {
+			got += w * sol.X[j]
+		}
+		if got > rhs[r]+1e-6 {
+			t.Errorf("row %d: %v > rhs %v — incumbent infeasible", r, got, rhs[r])
+		}
+	}
+}
+
+func TestCancelAbortsSearch(t *testing.T) {
+	p, _, _ := hardKnapsack(40)
+	done := make(chan struct{})
+	close(done)
+	sol := p.SolveWithOptions(Options{Cancel: done})
+	if sol.Status != TimeLimit {
+		t.Fatalf("status = %v, want time-limit on pre-closed cancel", sol.Status)
+	}
+	if sol.X == nil {
+		t.Fatal("cancel returned no incumbent")
+	}
+}
+
+// TestDeadlineDoesNotDegradeEasySolves pins that a generous deadline leaves
+// an easy problem provably optimal.
+func TestDeadlineDoesNotDegradeEasySolves(t *testing.T) {
+	p := NewProblem()
+	x := p.AddIntVar("x", 1)
+	y := p.AddVar("y", 2)
+	p.AddConstraint([]lp.Term{{Var: x, Coef: 1}, {Var: y, Coef: 1}}, lp.GE, 3.5)
+	sol := p.SolveWithOptions(Options{Deadline: time.Minute})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if sol.Gap != 0 {
+		t.Errorf("gap = %v at optimality", sol.Gap)
+	}
+	_ = x
+	_ = y
+}

@@ -74,6 +74,7 @@ const (
 	Infeasible               // no integer-feasible point exists
 	Unbounded                // the LP relaxation is unbounded
 	Limit                    // stopped at the node limit; Solution may hold an incumbent
+	TimeLimit                // deadline expired or canceled; Solution may hold an incumbent
 )
 
 // String names the status.
@@ -87,6 +88,8 @@ func (s Status) String() string {
 		return "unbounded"
 	case Limit:
 		return "node-limit"
+	case TimeLimit:
+		return "time-limit"
 	}
 	return fmt.Sprintf("Status(%d)", int(s))
 }
@@ -113,6 +116,31 @@ type Options struct {
 	// 1.000002 adds the already-present bound x ≤ 1 and makes no progress.
 	IntTol float64
 	Gap    float64 // absolute optimality gap at which to stop, 0 → 1e-7
+	// Deadline is the wall-clock budget for the whole solve; 0 → unlimited.
+	// The check is cooperative, between LP relaxations, so the effective
+	// floor is one simplex solve. On expiry the search stops and returns the
+	// best incumbent with Status == TimeLimit and the remaining Gap; if no
+	// incumbent exists yet, a bounded rounding dive (at most one LP re-solve
+	// per integer variable, plus backtracks) manufactures a feasible one
+	// before returning, so callers get an answer instead of a hang.
+	Deadline time.Duration
+	// Cancel, when non-nil, cooperatively aborts the search once it is
+	// closed (e.g. an http request context's Done channel). Cancellation is
+	// reported as TimeLimit, with the same incumbent guarantees as Deadline.
+	Cancel <-chan struct{}
+}
+
+// expired reports whether the solve must stop: the deadline passed (zero
+// deadline never expires) or the cancel channel is closed.
+func (o Options) expired(deadline time.Time) bool {
+	if o.Cancel != nil {
+		select {
+		case <-o.Cancel:
+			return true
+		default:
+		}
+	}
+	return !deadline.IsZero() && time.Now().After(deadline)
 }
 
 type node struct {
@@ -147,12 +175,12 @@ func (p *Problem) Solve() Solution { return p.SolveWithOptions(Options{}) }
 // SolveWithOptions is Solve with explicit options.
 func (p *Problem) SolveWithOptions(opt Options) Solution {
 	start := time.Now()
-	sol := p.solveWithOptions(opt)
+	sol := p.solveWithOptions(opt, start)
 	sol.Elapsed = time.Since(start)
 	return sol
 }
 
-func (p *Problem) solveWithOptions(opt Options) Solution {
+func (p *Problem) solveWithOptions(opt Options, start time.Time) Solution {
 	if opt.MaxNodes == 0 {
 		opt.MaxNodes = 200000
 	}
@@ -161,6 +189,10 @@ func (p *Problem) solveWithOptions(opt Options) Solution {
 	}
 	if opt.Gap == 0 {
 		opt.Gap = 1e-7
+	}
+	var deadline time.Time
+	if opt.Deadline > 0 {
+		deadline = start.Add(opt.Deadline)
 	}
 
 	sign := 1.0
@@ -223,6 +255,22 @@ func (p *Problem) solveWithOptions(opt Options) Solution {
 	for h.Len() > 0 {
 		if nodes >= opt.MaxNodes {
 			s := p.finish(Limit, incumbent, incumbentObj, sign, nodes, piv, h)
+			s.Incumbents = incumbents
+			return s
+		}
+		if opt.expired(deadline) {
+			if incumbent == nil {
+				// The deadline fired before best-first search reached any
+				// integer point: dive from the best open node so the caller
+				// still gets a feasible answer, not an empty solution.
+				if x, obj, dn, dp := p.dive(h[0], relax, opt.IntTol, sign); x != nil {
+					incumbent, incumbentObj = x, obj
+					incumbents++
+					nodes += dn
+					piv += dp
+				}
+			}
+			s := p.finish(TimeLimit, incumbent, incumbentObj, sign, nodes, piv, h)
 			s.Incumbents = incumbents
 			return s
 		}
@@ -292,6 +340,49 @@ func (p *Problem) finish(st Status, inc []float64, incObj, sign float64, nodes, 
 		s.Gap = math.Inf(1)
 	}
 	return s
+}
+
+// dive greedily rounds the most fractional variable of the node's relaxation
+// toward its nearest integer, re-solving the warm-started LP after each added
+// bound, until an integer-feasible point emerges or the attempt is exhausted.
+// At each level the opposite rounding direction is tried when the preferred
+// one is infeasible, so the LP work is bounded by ~2·NumIntegerVars re-solves.
+// This is the deadline path's incumbent manufacturer; a nil x means even the
+// dive found nothing feasible in its bounded budget.
+func (p *Problem) dive(it *node, relax func([]branch) lp.Solution, tol, sign float64) (x []float64, obj float64, nodes, piv int) {
+	bounds := it.bounds
+	sol := it.sol
+	for depth := 0; depth <= 2*p.NumIntegerVars()+1; depth++ {
+		fv := p.mostFractional(sol.X, tol)
+		if fv < 0 {
+			return roundIntegral(sol.X, p.integer), sign * sol.Objective, nodes, piv
+		}
+		v := sol.X[fv]
+		near := branch{fv, lp.LE, math.Floor(v)}
+		far := branch{fv, lp.GE, math.Ceil(v)}
+		if v-math.Floor(v) > 0.5 {
+			near, far = far, near
+		}
+		advanced := false
+		for _, nb := range []branch{near, far} {
+			if hasBranch(bounds, nb) {
+				continue
+			}
+			child := append(append([]branch(nil), bounds...), nb)
+			s := relax(child)
+			nodes++
+			piv += s.Pivots
+			if s.Status == lp.Optimal {
+				bounds, sol = child, s
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			return nil, 0, nodes, piv
+		}
+	}
+	return nil, 0, nodes, piv
 }
 
 // hasBranch reports whether the exact bound is already in the list.

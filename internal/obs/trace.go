@@ -14,6 +14,10 @@ import (
 type DecisionTrace struct {
 	Hour int    `json:"hour"`
 	Step string `json:"step"`
+	// Degraded names the degradation-ladder rung that produced the decision
+	// ("time-limit", "fallback", "stale", "shed"); empty for a clean optimal
+	// solve.
+	Degraded string `json:"degraded,omitempty"`
 
 	ArrivedLambda  float64 `json:"arrivedLambda"`
 	PremiumLambda  float64 `json:"premiumLambda"`
@@ -51,6 +55,7 @@ type SolverTrace struct {
 	Nodes      int     `json:"nodes"`
 	Pivots     int     `json:"pivots"`
 	Incumbents int     `json:"incumbents"`
+	Timeouts   int     `json:"timeouts,omitempty"`
 	WallMS     float64 `json:"wallMS"`
 }
 

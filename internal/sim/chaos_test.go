@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"billcap/internal/core"
+	"billcap/internal/obs"
+	"billcap/internal/pricing"
+)
+
+// TestChaosSoakMonth is the harness's headline guarantee: a full month under
+// a randomized fault schedule — site outages, demand-feed dropouts and
+// spikes, arrival bursts, forced solver and fallback failures — and the
+// resilient controller still answers every hour, never violates a power cap
+// or the SLA, attributes every degraded hour to a ladder rung, and keeps the
+// budget ledger consistent with the realized bills.
+func TestChaosSoakMonth(t *testing.T) {
+	cfg, err := PaperScenario(pricing.Policy1, TightBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hours := cfg.Month.Len()
+	cfg.Faults = ChaosFaults(20260805, hours, len(cfg.DCs))
+
+	var lastLedger *obs.BudgetTrace
+	cfg.Trace = obs.SinkFunc(func(tr obs.DecisionTrace) error {
+		if tr.Budget != nil {
+			lastLedger = tr.Budget
+		}
+		return nil
+	})
+
+	dec, err := NewResilientCapping(cfg.DCs, cfg.Policies, core.Options{
+		SolveDeadline: 2 * time.Second,
+	}, core.ResilientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg, dec)
+	if err != nil {
+		t.Fatalf("faulted month aborted: %v", err)
+	}
+
+	// Zero missing decisions: one record per simulated hour.
+	if len(res.Hours) != hours {
+		t.Fatalf("%d hour records for a %d-hour month", len(res.Hours), hours)
+	}
+
+	// Safety: no hour violates a power cap, and nothing is dropped for lack
+	// of physical capacity (the ladder respects SLA limits and outages).
+	if res.CapViolationHours != 0 {
+		t.Errorf("%d cap-violation hours under chaos", res.CapViolationHours)
+	}
+	for _, h := range res.Hours {
+		if h.Dropped > 1e-6*(1+h.Arrived) {
+			t.Errorf("hour %d dropped %v req/h (rung %v)", h.Hour, h.Dropped, h.Degraded)
+		}
+		if h.ServedPremium > h.ArrivedPremium*(1+1e-9)+1e-6 {
+			t.Errorf("hour %d served more premium than arrived", h.Hour)
+		}
+	}
+
+	// Attribution: every hour has a rung, forced solver failures never show
+	// up as clean optimal solves, and forced double failures sit at stale or
+	// below.
+	attributed := 0
+	for _, n := range res.DegradedHours {
+		attributed += n
+	}
+	if attributed != hours {
+		t.Errorf("rung attribution covers %d of %d hours", attributed, hours)
+	}
+	for _, h := range res.Hours {
+		if cfg.Faults.SolverFailures[h.Hour] && h.Degraded == core.DegradeNone {
+			t.Errorf("hour %d: forced solver failure but rung %v", h.Hour, h.Degraded)
+		}
+		if cfg.Faults.FallbackFailures[h.Hour] &&
+			(h.Degraded == core.DegradeNone || h.Degraded == core.DegradeFallback) {
+			t.Errorf("hour %d: forced double failure but rung %v", h.Hour, h.Degraded)
+		}
+	}
+	if res.DegradedHours[core.DegradeFallback] == 0 {
+		t.Error("chaos schedule never exercised the fallback rung")
+	}
+	if res.DegradedHours[core.DegradeStale]+res.DegradedHours[core.DegradeShed] == 0 {
+		t.Error("chaos schedule never exercised the stale/shed rungs")
+	}
+
+	// Ledger consistency: hourly bills sum to the month's totals, and the
+	// budgeter's cumulative spend matches what was actually charged.
+	sum := 0.0
+	for _, h := range res.Hours {
+		sum += h.BillUSD()
+	}
+	if rel := math.Abs(sum-res.TotalBillUSD()) / (1 + res.TotalBillUSD()); rel > 1e-9 {
+		t.Errorf("hourly bills sum to %v, result says %v", sum, res.TotalBillUSD())
+	}
+	if lastLedger == nil {
+		t.Fatal("no budget ledger traced")
+	}
+	if rel := math.Abs(lastLedger.SpentUSD-res.TotalBillUSD()) / (1 + res.TotalBillUSD()); rel > 1e-9 {
+		t.Errorf("budgeter spent %v, realized bills total %v", lastLedger.SpentUSD, res.TotalBillUSD())
+	}
+
+	// Premium QoS held outside shed hours: the premium service rate stays
+	// near 1 even though ~10% of hours ran degraded.
+	if rate := res.PremiumServiceRate(); rate < 0.98 {
+		t.Errorf("premium service rate %v under chaos, want ≥ 0.98", rate)
+	}
+}
+
+// TestUnfaultedRunAttributesAllHoursToNone pins the no-chaos baseline: with
+// no fault schedule every hour must be a clean optimal solve.
+func TestUnfaultedRunAttributesAllHoursToNone(t *testing.T) {
+	cfg, err := ShortScenario(pricing.Policy1, TightBudget(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewCostCapping(cfg.DCs, cfg.Policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.DegradedHours[core.DegradeNone]; got != cfg.Month.Len() {
+		t.Fatalf("%d of %d hours attributed to DegradeNone: %v",
+			got, cfg.Month.Len(), res.DegradedHours)
+	}
+}

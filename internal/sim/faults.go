@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"billcap/internal/core"
+	"billcap/internal/dcmodel"
+	"billcap/internal/pricing"
+)
+
+// Faults is a deterministic fault schedule injected into a run — the chaos
+// harness for soak-testing the controller's degradation ladder. Corruptions
+// apply only to what the controller *observes*; the ground-truth realization
+// always uses the real demand and arrivals, so the harness measures how a
+// misinformed controller performs against reality, not against its own
+// corrupted view.
+type Faults struct {
+	// SiteOutages maps hour → indices of sites that are physically down.
+	// The controller is told (HourInput.Down) and any load a decider still
+	// sends there is dropped at realization.
+	SiteOutages map[int][]int
+	// DemandDropouts marks hours whose observed demand feed is lost: the
+	// controller sees NaN for every region.
+	DemandDropouts map[int]bool
+	// DemandSpikes multiplies the observed (not true) demand of every region
+	// by the given factor — a corrupted or manipulated price-relevant feed.
+	DemandSpikes map[int]float64
+	// ForecastBursts multiplies the hour's true arrivals by the factor. The
+	// budgeter planned without it, so the burst stresses the budget ledger.
+	ForecastBursts map[int]float64
+	// SolverFailures forces the MILP rung to fail for the hour (delivered to
+	// deciders implementing FaultSink).
+	SolverFailures map[int]bool
+	// FallbackFailures additionally forces the greedy rung to fail.
+	FallbackFailures map[int]bool
+}
+
+// FaultSink is implemented by deciders that accept forced rung failures —
+// the seam through which the harness reaches inside the ladder.
+type FaultSink interface {
+	InjectSolverFailure(hour int)
+	InjectFallbackFailure(hour int)
+}
+
+// ChaosFaults draws a reproducible random fault schedule over the given
+// month: ~2% of hours lose one site, ~3% lose the demand feed, ~2% see a
+// 2–6× demand spike, ~1% a 1.5–3× arrival burst, ~5% a forced solver
+// failure, and a fifth of those also lose the greedy rung. The same seed
+// always yields the same schedule.
+func ChaosFaults(seed int64, hours, sites int) *Faults {
+	rng := rand.New(rand.NewSource(seed))
+	f := &Faults{
+		SiteOutages:      map[int][]int{},
+		DemandDropouts:   map[int]bool{},
+		DemandSpikes:     map[int]float64{},
+		ForecastBursts:   map[int]float64{},
+		SolverFailures:   map[int]bool{},
+		FallbackFailures: map[int]bool{},
+	}
+	for h := 0; h < hours; h++ {
+		if sites > 0 && rng.Float64() < 0.02 {
+			f.SiteOutages[h] = []int{rng.Intn(sites)}
+		}
+		if rng.Float64() < 0.03 {
+			f.DemandDropouts[h] = true
+		}
+		if rng.Float64() < 0.02 {
+			f.DemandSpikes[h] = 2 + 4*rng.Float64()
+		}
+		if rng.Float64() < 0.01 {
+			f.ForecastBursts[h] = 1.5 + 1.5*rng.Float64()
+		}
+		if rng.Float64() < 0.05 {
+			f.SolverFailures[h] = true
+			if rng.Float64() < 0.2 {
+				f.FallbackFailures[h] = true
+			}
+		}
+	}
+	return f
+}
+
+// deliver hands the forced rung failures to a decider that can take them.
+func (f *Faults) deliver(d Decider) {
+	if f == nil {
+		return
+	}
+	sink, ok := d.(FaultSink)
+	if !ok {
+		return
+	}
+	for h := range f.SolverFailures {
+		sink.InjectSolverFailure(h)
+	}
+	for h := range f.FallbackFailures {
+		sink.InjectFallbackFailure(h)
+	}
+}
+
+// down builds the hour's availability vector (nil when no outage).
+func (f *Faults) down(h, sites int) []bool {
+	if f == nil || len(f.SiteOutages[h]) == 0 {
+		return nil
+	}
+	down := make([]bool, sites)
+	for _, i := range f.SiteOutages[h] {
+		if i >= 0 && i < sites {
+			down[i] = true
+		}
+	}
+	return down
+}
+
+// observeDemand corrupts the true demand into what the controller sees.
+func (f *Faults) observeDemand(h int, truth []float64) []float64 {
+	if f == nil {
+		return truth
+	}
+	if f.DemandDropouts[h] {
+		out := make([]float64, len(truth))
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	if s, ok := f.DemandSpikes[h]; ok {
+		out := make([]float64, len(truth))
+		for i, d := range truth {
+			out[i] = d * s
+		}
+		return out
+	}
+	return truth
+}
+
+// burst returns the hour's arrival multiplier (1 when unfaulted).
+func (f *Faults) burst(h int) float64 {
+	if f == nil {
+		return 1
+	}
+	if b, ok := f.ForecastBursts[h]; ok {
+		return b
+	}
+	return 1
+}
+
+// ResilientCapping wraps the paper's two-step algorithm in the core
+// degradation ladder: it answers every hour (possibly degraded, never an
+// error) and accepts forced rung failures, which makes it the subject of the
+// chaos soak tests and the recommended production decider.
+type ResilientCapping struct {
+	ladder *core.Resilient
+	name   string
+}
+
+// NewResilientCapping builds the resilient strategy over the given sites
+// with the paper's optimizer configuration plus the supplied solve deadline
+// and staleness bound.
+func NewResilientCapping(dcs []*dcmodel.Site, policies []pricing.Policy,
+	opts core.Options, ropts core.ResilientOptions) (*ResilientCapping, error) {
+	sys, err := core.NewSystem(dcs, policies, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &ResilientCapping{ladder: core.NewResilient(sys, ropts), name: "Cost Capping (resilient)"}, nil
+}
+
+// Name labels the strategy.
+func (c *ResilientCapping) Name() string { return c.name }
+
+// Ladder exposes the underlying resilient controller.
+func (c *ResilientCapping) Ladder() *core.Resilient { return c.ladder }
+
+// Decide runs the ladder; the error is always nil.
+func (c *ResilientCapping) Decide(in core.HourInput) (core.Decision, error) {
+	return c.ladder.Decide(in), nil
+}
+
+// InjectSolverFailure implements FaultSink.
+func (c *ResilientCapping) InjectSolverFailure(hour int) { c.ladder.InjectSolverFailure(hour) }
+
+// InjectFallbackFailure implements FaultSink.
+func (c *ResilientCapping) InjectFallbackFailure(hour int) { c.ladder.InjectFallbackFailure(hour) }

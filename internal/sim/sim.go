@@ -61,6 +61,11 @@ type Config struct {
 	PredictionError float64
 	// PredictionSeed seeds the error stream.
 	PredictionSeed int64
+	// Faults, when non-nil, injects the schedule's failures into the run:
+	// outages and feed corruptions are applied to the controller's observed
+	// inputs (ground truth stays honest), and forced rung failures are
+	// delivered to deciders implementing FaultSink.
+	Faults *Faults
 	// Trace, when non-nil, receives one structured decision trace per
 	// simulated hour (e.g. obs.NewJSONSink over a file). The sink must be
 	// safe for concurrent use if the config is shared by RunAll.
@@ -112,6 +117,7 @@ type HourRecord struct {
 	CostUSD         float64 // realized energy charge
 	PenaltyUSD      float64 // realized cap penalties
 	Step            core.Step
+	Degraded        core.Degrade
 	CapViolations   int
 	Dropped         float64
 	// SiteLambda and SitePowerMW record the realized per-site dispatch and
@@ -141,6 +147,9 @@ type Result struct {
 	BudgetViolationHours int
 	CapViolationHours    int
 	StepCounts           map[core.Step]int
+	// DegradedHours attributes every hour to its degradation-ladder rung;
+	// an unfaulted run has all hours under core.DegradeNone.
+	DegradedHours map[core.Degrade]int
 
 	Solver core.SolverStats
 }
@@ -231,10 +240,12 @@ func Run(cfg Config, decider Decider) (Result, error) {
 		Strategy:         decider.Name(),
 		MonthlyBudgetUSD: cfg.MonthlyBudgetUSD,
 		StepCounts:       map[core.Step]int{},
+		DegradedHours:    map[core.Degrade]int{},
 	}
+	cfg.Faults.deliver(decider)
 	demand := make([]float64, len(cfg.DCs))
 	for h := 0; h < cfg.Month.Len(); h++ {
-		lambda := cfg.Month.At(h)
+		lambda := cfg.Month.At(h) * cfg.Faults.burst(h)
 		premium, ordinary := workload.Split(lambda, cfg.PremiumFrac)
 		for i := range demand {
 			demand[i] = cfg.Demand[i].At(h)
@@ -247,14 +258,25 @@ func Run(cfg Config, decider Decider) (Result, error) {
 			Hour:          h,
 			TotalLambda:   lambda,
 			PremiumLambda: premium,
-			DemandMW:      demand,
+			DemandMW:      cfg.Faults.observeDemand(h, demand),
 			BudgetUSD:     hourBudget,
+			Down:          cfg.Faults.down(h, len(cfg.DCs)),
 		}
 		dec, err := decider.Decide(in)
 		if err != nil {
 			return Result{}, fmt.Errorf("sim: hour %d: %w", h, err)
 		}
-		real, err := truth.Realize(dec.Lambdas(), demand)
+		// A physically-down site serves nothing regardless of what the
+		// decider planned; the lost traffic is shed in admission order
+		// (ordinary first), mirroring how the controller itself sheds.
+		lambdas := dec.Lambdas()
+		servedPremium, servedOrdinary := dec.ServedPremium, dec.ServedOrdinary
+		if lost := zeroDownSites(lambdas, in); lost > 0 {
+			o := math.Min(lost, servedOrdinary)
+			servedOrdinary -= o
+			servedPremium = math.Max(0, servedPremium-(lost-o))
+		}
+		real, err := truth.Realize(lambdas, demand)
 		if err != nil {
 			return Result{}, fmt.Errorf("sim: hour %d: %w", h, err)
 		}
@@ -269,13 +291,14 @@ func Run(cfg Config, decider Decider) (Result, error) {
 			Arrived:         lambda,
 			ArrivedPremium:  premium,
 			ArrivedOrdinary: ordinary,
-			ServedPremium:   dec.ServedPremium,
-			ServedOrdinary:  dec.ServedOrdinary,
+			ServedPremium:   servedPremium,
+			ServedOrdinary:  servedOrdinary,
 			HourlyBudget:    hourBudget,
 			PredictedCost:   dec.PredictedCostUSD,
 			CostUSD:         real.CostUSD,
 			PenaltyUSD:      real.PenaltyUSD,
 			Step:            dec.Step,
+			Degraded:        dec.Degraded,
 			CapViolations:   real.CapViolations,
 			Dropped:         real.DroppedLambda,
 			SiteLambda:      make([]float64, len(real.Sites)),
@@ -293,6 +316,7 @@ func Run(cfg Config, decider Decider) (Result, error) {
 		res.ServedPremium += rec.ServedPremium
 		res.ServedOrdinary += rec.ServedOrdinary
 		res.StepCounts[dec.Step]++
+		res.DegradedHours[dec.Degraded]++
 		if rec.BillUSD() > hourBudget*(1+1e-9)+1e-6 {
 			res.BudgetViolationHours++
 		}
@@ -320,6 +344,19 @@ func Run(cfg Config, decider Decider) (Result, error) {
 	return res, nil
 }
 
+// zeroDownSites clears allocations to sites the hour's fault schedule took
+// out, returning the load lost that way.
+func zeroDownSites(lambdas []float64, in core.HourInput) float64 {
+	lost := 0.0
+	for i := range lambdas {
+		if in.SiteDown(i) && lambdas[i] > 0 {
+			lost += lambdas[i]
+			lambdas[i] = 0
+		}
+	}
+	return lost
+}
+
 // decisionTrace flattens one simulated hour into the observability trace
 // record: the decision, the billed ground truth, and the solver effort.
 func decisionTrace(cfg Config, h int, in core.HourInput, dec core.Decision, real core.Realization) obs.DecisionTrace {
@@ -342,8 +379,12 @@ func decisionTrace(cfg Config, h int, in core.HourInput, dec core.Decision, real
 			Nodes:      dec.Solver.Nodes,
 			Pivots:     dec.Solver.Pivots,
 			Incumbents: dec.Solver.Incumbents,
+			Timeouts:   dec.Solver.Timeouts,
 			WallMS:     float64(dec.Solver.WallTime.Microseconds()) / 1e3,
 		},
+	}
+	if dec.Degraded != core.DegradeNone {
+		tr.Degraded = dec.Degraded.String()
 	}
 	if !math.IsInf(in.BudgetUSD, 1) {
 		b := in.BudgetUSD
