@@ -1,0 +1,111 @@
+// Command benchmilp measures the branch-and-bound worker pool on the
+// deterministic hard-knapsack family at paper scale (5·N binaries for N
+// sites, paper §IV) and writes the results as JSON for CI artifacts and
+// cross-machine comparison.
+//
+// Usage:
+//
+//	benchmilp -out BENCH_milp.json          # full run: 4000-node budget, 3 reps
+//	benchmilp -quick -out BENCH_milp.json   # CI smoke: 1000-node budget, 1 rep
+//
+// Every (sites, workers) cell explores the same fixed node budget on the
+// same instance, so wall time is directly comparable across worker counts
+// and speedup = wall(1 worker) / wall(w workers). GOMAXPROCS is recorded
+// because speedup is bounded by the cores actually available — on a 1-CPU
+// box every ratio is ≈1 by construction.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"billcap/internal/milp"
+)
+
+type workerResult struct {
+	Workers     int     `json:"workers"`
+	WallMS      float64 `json:"wallMS"`
+	Nodes       int     `json:"nodes"`
+	NodesPerSec float64 `json:"nodesPerSec"`
+	Speedup     float64 `json:"speedup"` // wall(1 worker) / wall(this)
+	Status      string  `json:"status"`
+	Objective   float64 `json:"objective"`
+}
+
+type instanceResult struct {
+	Sites    int            `json:"sites"`
+	Binaries int            `json:"binaries"`
+	Results  []workerResult `json:"results"`
+}
+
+type report struct {
+	Bench      string           `json:"bench"`
+	GoMaxProcs int              `json:"goMaxProcs"`
+	MaxNodes   int              `json:"maxNodes"`
+	Reps       int              `json:"reps"`
+	Instances  []instanceResult `json:"instances"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_milp.json", "path to write the JSON report")
+	quick := flag.Bool("quick", false, "CI smoke mode: smaller node budget, one repetition")
+	flag.Parse()
+
+	maxNodes, reps := 4000, 3
+	if *quick {
+		maxNodes, reps = 1000, 1
+	}
+
+	rep := report{
+		Bench:      "milp branch-and-bound worker pool, hard knapsack at 5·N binaries",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		MaxNodes:   maxNodes,
+		Reps:       reps,
+	}
+	for _, sites := range []int{5, 10, 20} {
+		k := milp.NewHardKnapsack(5*sites, 0)
+		inst := instanceResult{Sites: sites, Binaries: 5 * sites}
+		var base float64
+		for _, workers := range []int{1, 2, 4, 8} {
+			best := workerResult{Workers: workers}
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				s := k.SolveWithOptions(milp.Options{Workers: workers, MaxNodes: maxNodes})
+				wall := time.Since(start)
+				if s.Status != milp.Optimal && s.Status != milp.Limit {
+					log.Fatalf("sites=%d workers=%d: unexpected status %v", sites, workers, s.Status)
+				}
+				if best.WallMS == 0 || wall.Seconds()*1e3 < best.WallMS {
+					best.WallMS = wall.Seconds() * 1e3
+					best.Nodes = s.Nodes
+					best.NodesPerSec = float64(s.Nodes) / wall.Seconds()
+					best.Status = s.Status.String()
+					best.Objective = s.Objective
+				}
+			}
+			if workers == 1 {
+				base = best.WallMS
+			}
+			best.Speedup = base / best.WallMS
+			inst.Results = append(inst.Results, best)
+			fmt.Printf("sites=%-3d workers=%d  wall=%8.1fms  nodes=%d  %8.0f nodes/s  speedup=%.2f\n",
+				sites, workers, best.WallMS, best.Nodes, best.NodesPerSec, best.Speedup)
+		}
+		rep.Instances = append(rep.Instances, inst)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (GOMAXPROCS=%d)\n", *out, rep.GoMaxProcs)
+}

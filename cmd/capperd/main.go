@@ -7,8 +7,8 @@
 //	capperd -addr :8080 -variant 1
 //
 // Endpoints: GET /healthz, GET /readyz, GET /metrics, GET /debug/pprof/,
-// GET /v1/sites, GET /v1/policies, POST /v1/decide, POST /v1/realize,
-// POST /v1/model.
+// GET /v1/sites, GET /v1/policies, POST /v1/decide, POST /v1/decide/batch,
+// POST /v1/realize, POST /v1/model.
 // Example:
 //
 //	curl -s localhost:8080/v1/decide -d '{
@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -45,6 +46,8 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown timeout for in-flight requests")
 	deadline := flag.Duration("decide-deadline", 5*time.Second,
 		"per-decision solver deadline; an expiring solve answers with its best incumbent (0 = unbounded)")
+	workers := flag.Int("solver-workers", 0,
+		"branch-and-bound workers per MILP solve, and the concurrency budget of /v1/decide/batch (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *variant < 0 || *variant > 3 {
@@ -59,7 +62,7 @@ func main() {
 		dcs = dcmodel.SyntheticSites(*sites)
 		pols = pricing.Synthetic(*sites)
 	}
-	srv, err := api.New(dcs, pols, core.Options{SolveDeadline: *deadline})
+	srv, err := api.New(dcs, pols, core.Options{SolveDeadline: *deadline, SolverWorkers: *workers})
 	if err != nil {
 		log.Fatalf("capperd: %v", err)
 	}
@@ -83,6 +86,7 @@ func main() {
 	log.Printf("capperd: %d sites, %v, listening on %s", len(dcs), pricing.PolicyVariant(*variant), ln.Addr())
 	log.Printf("capperd: timeouts: readHeader=%v read=%v write=%v idle=%v decide=%v drain=%v",
 		hs.ReadHeaderTimeout, hs.ReadTimeout, hs.WriteTimeout, hs.IdleTimeout, *deadline, *drain)
+	log.Printf("capperd: solver workers: %d (0 = GOMAXPROCS = %d)", *workers, runtime.GOMAXPROCS(0))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

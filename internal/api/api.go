@@ -11,6 +11,7 @@
 //	GET  /v1/sites      site inventory (capacity, caps, market)
 //	GET  /v1/policies   locational pricing policies
 //	POST /v1/decide     one hour's two-step capping decision
+//	POST /v1/decide/batch  many independent hours, solved concurrently
 //	POST /v1/realize    ground-truth billing of an allocation
 //	POST /v1/model      dump the hour's MILP in lp_solve-style text
 //
@@ -82,6 +83,7 @@ func New(dcs []*dcmodel.Site, policies []pricing.Policy, opts core.Options) (*Se
 	s.handle("/v1/sites", s.handleSites)
 	s.handle("/v1/policies", s.handlePolicies)
 	s.handle("/v1/decide", s.handleDecide)
+	s.handle("/v1/decide/batch", s.handleDecideBatch)
 	s.handle("/v1/realize", s.handleRealize)
 	s.handle("/v1/model", s.handleModel)
 	s.handle("/metrics", obs.Handler(reg).ServeHTTP)
@@ -314,18 +316,13 @@ type DecideResponse struct {
 	SolverPivots     int            `json:"solverPivots"`
 	SolverIncumbents int            `json:"solverIncumbents"`
 	SolverTimeouts   int            `json:"solverTimeouts,omitempty"`
+	SolverWorkers    int            `json:"solverWorkers,omitempty"`
 	SolverWallMS     float64        `json:"solverWallMS"`
 }
 
-func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
-		return
-	}
-	var req DecideRequest
-	if !readJSON(w, r, &req) {
-		return
-	}
+// hourInputFrom maps the wire request onto the controller's input; a
+// null/omitted budget means uncapped.
+func hourInputFrom(req DecideRequest) core.HourInput {
 	in := core.HourInput{
 		Hour:          req.Hour,
 		TotalLambda:   req.TotalLambda,
@@ -337,6 +334,52 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	if req.BudgetUSD != nil {
 		in.BudgetUSD = *req.BudgetUSD
 	}
+	return in
+}
+
+// decideResponseFrom renders a controller decision onto the wire shape
+// shared by /v1/decide and /v1/decide/batch.
+func (s *Server) decideResponseFrom(dec core.Decision) DecideResponse {
+	resp := DecideResponse{
+		Step:             dec.Step.String(),
+		Served:           dec.Served,
+		ServedPremium:    dec.ServedPremium,
+		ServedOrdinary:   dec.ServedOrdinary,
+		PredictedCostUSD: dec.PredictedCostUSD,
+		SolverNodes:      dec.Solver.Nodes,
+		SolverSolves:     dec.Solver.Solves,
+		SolverPivots:     dec.Solver.Pivots,
+		SolverIncumbents: dec.Solver.Incumbents,
+		SolverTimeouts:   dec.Solver.Timeouts,
+		SolverWorkers:    dec.Solver.Workers,
+		SolverWallMS:     float64(dec.Solver.WallTime.Microseconds()) / 1e3,
+	}
+	if dec.Degraded != core.DegradeNone {
+		resp.Degraded = dec.Degraded.String()
+	}
+	for i, a := range dec.Sites {
+		resp.Sites = append(resp.Sites, SiteDecision{
+			Site:           s.sites[i].Name,
+			Lambda:         a.Lambda,
+			PowerMW:        a.PowerMW,
+			PriceUSDPerMWh: a.PriceUSDPerMWh,
+			CostUSD:        a.CostUSD,
+			On:             a.On,
+		})
+	}
+	return resp
+}
+
+func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req DecideRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	in := hourInputFrom(req)
 	// A malformed request is the client's bug even on the resilient path;
 	// the ladder's input patching is for feed dropouts, not API misuse.
 	if err := s.sys.ValidateInput(in); err != nil {
@@ -361,33 +404,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	resp := DecideResponse{
-		Step:             dec.Step.String(),
-		Served:           dec.Served,
-		ServedPremium:    dec.ServedPremium,
-		ServedOrdinary:   dec.ServedOrdinary,
-		PredictedCostUSD: dec.PredictedCostUSD,
-		SolverNodes:      dec.Solver.Nodes,
-		SolverSolves:     dec.Solver.Solves,
-		SolverPivots:     dec.Solver.Pivots,
-		SolverIncumbents: dec.Solver.Incumbents,
-		SolverTimeouts:   dec.Solver.Timeouts,
-		SolverWallMS:     float64(dec.Solver.WallTime.Microseconds()) / 1e3,
-	}
-	if dec.Degraded != core.DegradeNone {
-		resp.Degraded = dec.Degraded.String()
-	}
-	for i, a := range dec.Sites {
-		resp.Sites = append(resp.Sites, SiteDecision{
-			Site:           s.sites[i].Name,
-			Lambda:         a.Lambda,
-			PowerMW:        a.PowerMW,
-			PriceUSDPerMWh: a.PriceUSDPerMWh,
-			CostUSD:        a.CostUSD,
-			On:             a.On,
-		})
-	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, s.decideResponseFrom(dec))
 }
 
 // handleModel dumps the hour's Step-1 MILP in lp_solve-style text, for

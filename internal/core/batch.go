@@ -1,0 +1,59 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// DecideBatch solves many independent hours concurrently through one worker
+// budget — the bulk path for re-optimizing a horizon (day-ahead sweeps,
+// what-if studies) without either serializing the hours or oversubscribing
+// the CPU with hours × workers goroutines.
+//
+// The budget is Options.SolverWorkers (0 → GOMAXPROCS). Hour-level
+// parallelism comes first, because independent solves scale embarrassingly:
+// up to budget hours run at once, and the per-solve branch-and-bound pool
+// shrinks to budget/concurrency workers so the total stays at the budget.
+// With a batch smaller than the budget, the leftover goes back into
+// per-solve workers.
+//
+// Results are index-aligned with ins: decs[i] answers ins[i], errs[i] is its
+// error (nil on success). The context bounds every solve; its deadline and
+// cancellation propagate into branch-and-bound exactly as in DecideHourCtx.
+func (s *System) DecideBatch(ctx context.Context, ins []HourInput) ([]Decision, []error) {
+	decs := make([]Decision, len(ins))
+	errs := make([]error, len(ins))
+	if len(ins) == 0 {
+		return decs, errs
+	}
+	budget := s.opts.SolverWorkers
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	conc := budget
+	if conc > len(ins) {
+		conc = len(ins)
+	}
+	perSolve := budget / conc
+
+	sem := make(chan struct{}, conc)
+	var wg sync.WaitGroup
+	for i := range ins {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			so, err := boundByCtx(ctx, s.solveOptions())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			so.Workers = perSolve
+			decs[i], errs[i] = s.decideWith(ins[i], so)
+		}(i)
+	}
+	wg.Wait()
+	return decs, errs
+}

@@ -38,27 +38,38 @@ func (s *System) DecideHour(in HourInput) (Decision, error) {
 // solve that expires mid-search answers with its best incumbent
 // (DegradeTimeLimit) instead of hanging past the caller's patience.
 func (s *System) DecideHourCtx(ctx context.Context, in HourInput) (Decision, error) {
-	so := s.solveOptions()
+	so, err := boundByCtx(ctx, s.solveOptions())
+	if err != nil {
+		return Decision{}, err
+	}
+	return s.decideWith(in, so)
+}
+
+// boundByCtx narrows solve options to the context: the tighter of the two
+// deadlines wins and the context's cancellation reaches the solver. An
+// already-expired context is an error — there is no budget left to solve in.
+func boundByCtx(ctx context.Context, so milp.Options) (milp.Options, error) {
 	if dl, ok := ctx.Deadline(); ok {
 		remain := time.Until(dl)
 		if remain <= 0 {
-			return Decision{}, ctx.Err()
+			return so, ctx.Err()
 		}
 		if so.Deadline == 0 || remain < so.Deadline {
 			so.Deadline = remain
 		}
 	}
 	so.Cancel = ctx.Done()
-	return s.decideWith(in, so)
+	return so, nil
 }
 
 func (s *System) decideWith(in HourInput, so milp.Options) (Decision, error) {
-	if s.metrics == nil {
+	m := s.metrics.Load()
+	if m == nil {
 		return s.decideHour(in, so)
 	}
 	start := time.Now()
 	dec, err := s.decideHour(in, so)
-	s.metrics.observe(s, dec, err, time.Since(start))
+	m.observe(s, dec, err, time.Since(start))
 	return dec, err
 }
 

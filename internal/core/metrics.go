@@ -28,6 +28,7 @@ type Metrics struct {
 	milpPivots     *obs.Counter
 	milpIncumbents *obs.Counter
 	milpSeconds    *obs.Histogram
+	milpWorkers    *obs.Gauge
 
 	predictedCost *obs.Gauge
 	servedLambda  *obs.Gauge
@@ -64,6 +65,8 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Incumbent improvements found during branch-and-bound."),
 		milpSeconds: reg.Histogram("billcap_milp_seconds",
 			"Wall time spent inside MILP solves per decision, seconds.", obs.DefBuckets),
+		milpWorkers: reg.Gauge("billcap_milp_workers",
+			"Branch-and-bound workers used by the last decision's MILP solves."),
 
 		predictedCost: reg.Gauge("billcap_decide_predicted_cost_usd",
 			"Predicted electricity cost of the last decision."),
@@ -102,8 +105,14 @@ func (m *Metrics) RecordDegraded(d Degrade) {
 }
 
 // SetMetrics attaches (or, with nil, detaches) instrumentation to the
-// system. Not safe to call concurrently with DecideHour.
-func (s *System) SetMetrics(m *Metrics) { s.metrics = m }
+// system. The swap is atomic, so it is safe to call while decisions are in
+// flight; a decision that started before the swap reports to the bundle it
+// loaded at observation time.
+func (s *System) SetMetrics(m *Metrics) { s.metrics.Store(m) }
+
+// Metrics returns the currently attached instrumentation bundle (nil when
+// detached). The Metrics methods are nil-safe where noted.
+func (s *System) Metrics() *Metrics { return s.metrics.Load() }
 
 // observe records one DecideHour outcome.
 func (m *Metrics) observe(s *System, dec Decision, err error, elapsed time.Duration) {
@@ -121,6 +130,7 @@ func (m *Metrics) observe(s *System, dec Decision, err error, elapsed time.Durat
 	m.milpPivots.Add(float64(dec.Solver.Pivots))
 	m.milpIncumbents.Add(float64(dec.Solver.Incumbents))
 	m.milpSeconds.Observe(dec.Solver.WallTime.Seconds())
+	m.milpWorkers.Set(float64(dec.Solver.Workers))
 
 	m.predictedCost.Set(dec.PredictedCostUSD)
 	m.servedLambda.Set(dec.Served)

@@ -30,6 +30,9 @@ type SolverStats struct {
 	Timeouts int
 	// WallTime is the wall-clock time spent inside MILP solves.
 	WallTime time.Duration
+	// Workers is the largest branch-and-bound worker-pool size any solve in
+	// the decision ran with (1 = sequential).
+	Workers int
 }
 
 func (st *SolverStats) add(sol milp.Solution) {
@@ -38,6 +41,9 @@ func (st *SolverStats) add(sol milp.Solution) {
 	st.Pivots += sol.Pivots
 	st.Incumbents += sol.Incumbents
 	st.WallTime += sol.Elapsed
+	if sol.Workers > st.Workers {
+		st.Workers = sol.Workers
+	}
 	if sol.Status == milp.TimeLimit {
 		st.Timeouts++
 	}
@@ -52,6 +58,9 @@ func (st *SolverStats) Accumulate(o SolverStats) {
 	st.Incumbents += o.Incumbents
 	st.Timeouts += o.Timeouts
 	st.WallTime += o.WallTime
+	if o.Workers > st.Workers {
+		st.Workers = o.Workers
+	}
 }
 
 // SiteAlloc is the optimizer's plan for one site in one hour.
@@ -171,7 +180,13 @@ func lambdaScale(totalLambda float64) float64 {
 
 // buildBase assembles the shared MILP skeleton: per-site workload and on/off
 // variables, the affine power link, capacity rows and the price encoding.
-func (s *System) buildBase(in HourInput, scale float64) (*milp.Problem, []siteVars, error) {
+// maxLoad is the hour's total workload, which tightens the on/off big-M: the
+// raw site capacity can be ~1e4× the scaled workload for light hours, wide
+// enough that a y within integrality tolerance of zero still licenses the
+// whole hour's load (an "all sites off" answer that serves everything).
+// min(capacity, hour's load) keeps the link coefficient at the workload's
+// own magnitude, so y is forced to an honest 1 whenever x carries load.
+func (s *System) buildBase(in HourInput, scale, maxLoad float64) (*milp.Problem, []siteVars, error) {
 	m := milp.NewProblem()
 	vars := make([]siteVars, len(s.Sites))
 	for i, sm := range s.models {
@@ -192,10 +207,11 @@ func (s *System) buildBase(in HourInput, scale float64) (*milp.Problem, []siteVa
 			{Var: x, Coef: -sm.affine.A * scale},
 			{Var: y, Coef: -sm.affine.B},
 		}, lp.EQ, 0)
-		// Capacity: x ≤ xmax·y links load to the on/off state.
+		// Capacity: x ≤ min(xmax, λ)·y links load to the on/off state.
+		xmax := math.Min(sm.maxLambda, maxLoad)
 		m.AddConstraint([]lp.Term{
 			{Var: x, Coef: 1},
-			{Var: y, Coef: -sm.maxLambda / scale},
+			{Var: y, Coef: -xmax / scale},
 		}, lp.LE, 0)
 		if in.SiteDown(i) {
 			// Outage: force the site off; the capacity row then pins x = 0.
@@ -262,7 +278,7 @@ func (s *System) minimizeCost(in HourInput, lambda float64, stats *SolverStats, 
 		return Decision{}, fmt.Errorf("%w: negative workload %v", ErrBadInput, lambda)
 	}
 	scale := lambdaScale(lambda)
-	m, vars, err := s.buildBase(in, scale)
+	m, vars, err := s.buildBase(in, scale, lambda)
 	if err != nil {
 		return Decision{}, err
 	}
@@ -313,7 +329,7 @@ func (s *System) WriteHourModel(w io.Writer, in HourInput, lambda float64) error
 		return fmt.Errorf("%w: negative workload %v", ErrBadInput, lambda)
 	}
 	scale := lambdaScale(lambda)
-	m, vars, err := s.buildBase(in, scale)
+	m, vars, err := s.buildBase(in, scale, lambda)
 	if err != nil {
 		return err
 	}
@@ -341,7 +357,7 @@ func (s *System) maximizeThroughput(in HourInput, stats *SolverStats, so milp.Op
 		return Decision{}, err
 	}
 	scale := lambdaScale(in.TotalLambda)
-	m, vars, err := s.buildBase(in, scale)
+	m, vars, err := s.buildBase(in, scale, in.TotalLambda)
 	if err != nil {
 		return Decision{}, err
 	}

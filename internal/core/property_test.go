@@ -141,3 +141,39 @@ func TestAblationOrderingProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestLightHourServesLoad pins the big-M tightening of the on/off capacity
+// link. With the raw site capacity as big-M, a light hour (λ ≈ 1e4× below
+// fleet capacity) admits a relaxation point whose on/off y is within
+// integrality tolerance of zero yet still licenses the full load — the MILP
+// then "optimally" serves everything with every site off, and extraction
+// zeroes the hour. Found by TestDecideHourInvariantsProperty at seed
+// 6909396765408288749.
+func TestLightHourServesLoad(t *testing.T) {
+	s := paperSystem(t, Options{})
+	in := HourInput{
+		TotalLambda:   1.855848815864389e+07, // ≈1e-5 of fleet capacity
+		PremiumLambda: 5.296395220644906e+06,
+		DemandMW:      []float64{271.88, 274.26, 278.81},
+		BudgetUSD:     math.Inf(1),
+	}
+	d, err := s.DecideHour(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Served < in.TotalLambda*(1-1e-9)-1 {
+		t.Fatalf("light hour served %v of %v", d.Served, in.TotalLambda)
+	}
+	if d.ServedPremium < in.PremiumLambda*(1-1e-9)-1 {
+		t.Fatalf("light hour served premium %v of %v", d.ServedPremium, in.PremiumLambda)
+	}
+	on := 0
+	for _, a := range d.Sites {
+		if a.On {
+			on++
+		}
+	}
+	if on == 0 {
+		t.Fatal("load served with every site off")
+	}
+}

@@ -112,7 +112,7 @@ func (r *Resilient) DecideCtx(ctx context.Context, in HourInput) Decision {
 	if !r.failFallback[in.Hour] {
 		if dec, ok := r.tryGreedy(in); ok {
 			dec.Degraded = DegradeFallback
-			r.sys.metrics.RecordDegraded(DegradeFallback)
+			r.sys.Metrics().RecordDegraded(DegradeFallback)
 			r.remember(in.Hour, dec)
 			return dec
 		}
@@ -120,13 +120,13 @@ func (r *Resilient) DecideCtx(ctx context.Context, in HourInput) Decision {
 
 	if dec, ok := r.staleReuse(in); ok {
 		dec.Degraded = DegradeStale
-		r.sys.metrics.RecordDegraded(DegradeStale)
+		r.sys.Metrics().RecordDegraded(DegradeStale)
 		return dec
 	}
 
 	// Shed: everything failed with nothing recent to reuse. All sites off is
 	// always safe (caps trivially hold); the hour's load is dropped.
-	r.sys.metrics.RecordDegraded(DegradeShed)
+	r.sys.Metrics().RecordDegraded(DegradeShed)
 	return Decision{
 		Sites:    make([]SiteAlloc, len(r.sys.Sites)),
 		Step:     StepOverCapacity,

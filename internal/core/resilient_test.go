@@ -33,9 +33,16 @@ func TestResilientOptimalPath(t *testing.T) {
 
 func TestSolveDeadlineYieldsTimeLimitIncumbent(t *testing.T) {
 	// A deadline that expires before the first branch-and-bound check forces
-	// the incumbent-manufacturing path on the paper-sized problem.
+	// the incumbent-manufacturing path. The hour must actually branch for a
+	// deadline to be interruptible: with the tightened on/off big-M the
+	// uncapped paper hour solves integrally at the root LP (one solve, which
+	// is the cooperative floor and yields a proven optimum regardless of
+	// deadline), so use a binding budget, whose step-2/premium solves have
+	// fractional roots.
 	s := paperSystem(t, Options{SolveDeadline: time.Nanosecond})
-	dec, err := s.DecideHour(goodInput(0))
+	in := goodInput(0)
+	in.BudgetUSD = 500
+	dec, err := s.DecideHour(in)
 	if err != nil {
 		t.Fatalf("deadline-limited decide failed: %v", err)
 	}
@@ -162,12 +169,17 @@ func TestResilientCancelledContextStillDecides(t *testing.T) {
 	r := NewResilient(paperSystem(t, Options{}), ResilientOptions{})
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	dec := r.DecideCtx(ctx, goodInput(0))
+	// Budget-capped so the hour branches; a root-integral hour would finish
+	// its single LP solve (the cooperative floor) and legitimately report a
+	// clean optimum even under a dead context.
+	in := goodInput(0)
+	in.BudgetUSD = 500
+	dec := r.DecideCtx(ctx, in)
 	if dec.Served <= 0 {
 		t.Fatalf("cancelled context produced an empty decision (%v rung)", dec.Degraded)
 	}
 	if dec.Degraded == DegradeNone {
-		// A pre-cancelled context cannot complete a clean optimal solve; it
+		// A pre-cancelled context cannot complete a clean branching solve; it
 		// must land on a degraded rung (time-limit incumbent or below).
 		t.Errorf("cancelled context claims a clean optimal solve")
 	}

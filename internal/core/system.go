@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"billcap/internal/dcmodel"
@@ -81,11 +82,22 @@ type Options struct {
 	// MaxSolveNodes caps branch-and-bound nodes per solve; 0 → the solver
 	// default.
 	MaxSolveNodes int
+	// SolverWorkers is the branch-and-bound worker-pool size per MILP solve
+	// (milp.Options.Workers): 0 → GOMAXPROCS, 1 → the sequential solver.
+	SolverWorkers int
+	// DeterministicSolver pins the sequential node ordering regardless of
+	// SolverWorkers, for reproducible replays and tests.
+	DeterministicSolver bool
 }
 
 // solveOptions derives the per-solve MILP options from the system options.
 func (s *System) solveOptions() milp.Options {
-	return milp.Options{Deadline: s.opts.SolveDeadline, MaxNodes: s.opts.MaxSolveNodes}
+	return milp.Options{
+		Deadline:      s.opts.SolveDeadline,
+		MaxNodes:      s.opts.MaxSolveNodes,
+		Workers:       s.opts.SolverWorkers,
+		Deterministic: s.opts.DeterministicSolver,
+	}
 }
 
 func (o Options) capPenalty() float64 {
@@ -110,12 +122,20 @@ type siteModel struct {
 }
 
 // System is a network of data centers under one bill-capping controller.
+//
+// Concurrency: after NewSystem returns, every field the decision paths read
+// (opts, models, Sites) is immutable, so DecideHour / DecideHourCtx /
+// DecideBatch and the step solvers are safe for concurrent use from many
+// goroutines — capperd serves all HTTP handlers from one System. The
+// instrumentation pointer is the only mutable cell and is accessed
+// atomically, so SetMetrics may race with in-flight decisions without
+// corruption (decisions started before the swap report to the old bundle).
 type System struct {
 	Sites []Site
 
 	opts    Options
 	models  []siteModel
-	metrics *Metrics // optional instrumentation (see SetMetrics)
+	metrics atomic.Pointer[Metrics] // optional instrumentation (see SetMetrics)
 }
 
 // NewSystem validates and assembles a system with the given optimizer

@@ -1,6 +1,7 @@
 package milp
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -15,6 +16,32 @@ func BenchmarkBranchAndBound(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if s := p.Solve(); s.Status != Optimal && s.Status != Infeasible {
 			b.Fatal(s.Status)
+		}
+	}
+}
+
+// BenchmarkPaperScaleBnB sweeps the paper's site counts against the worker
+// pool. Each sub-benchmark explores a fixed node budget on the deterministic
+// hard knapsack at 5·N binaries (the hourly MILP's binary count for N sites),
+// so wall time per iteration is directly comparable across worker counts.
+// cmd/benchmilp runs the same workload standalone and writes BENCH_milp.json.
+func BenchmarkPaperScaleBnB(b *testing.B) {
+	const maxNodes = 1000
+	for _, sites := range []int{5, 10, 20} {
+		k := NewHardKnapsack(5*sites, 0)
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("sites=%d/workers=%d", sites, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				var nodes int
+				for i := 0; i < b.N; i++ {
+					s := k.SolveWithOptions(Options{Workers: workers, MaxNodes: maxNodes})
+					if s.Status != Optimal && s.Status != Limit {
+						b.Fatal(s.Status)
+					}
+					nodes += s.Nodes
+				}
+				b.ReportMetric(float64(nodes)/b.Elapsed().Seconds(), "nodes/s")
+			})
 		}
 	}
 }

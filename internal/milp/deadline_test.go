@@ -8,44 +8,13 @@ import (
 	"billcap/internal/lp"
 )
 
-// hardKnapsack builds a strongly-correlated multi-knapsack over n binaries:
-// the kind of instance whose optimality proof needs thousands of
-// branch-and-bound nodes, so a millisecond deadline reliably fires mid-search.
-// Profits track weights closely (the classic hard regime) and x = 0 is
-// feasible, so a rounding dive can always manufacture an incumbent.
+// hardKnapsack keeps the historical test helper shape over the exported
+// deterministic generator (see instance.go): an instance whose optimality
+// proof needs thousands of branch-and-bound nodes, so a millisecond deadline
+// reliably fires mid-search.
 func hardKnapsack(n int) (*Problem, [][]float64, []float64) {
-	p := NewProblem()
-	p.SetMaximize(true)
-	seed := uint64(0x9e3779b97f4a7c15)
-	next := func() float64 {
-		seed ^= seed << 13
-		seed ^= seed >> 7
-		seed ^= seed << 17
-		return float64(seed%100) + 1 // 1..100
-	}
-	weights := make([][]float64, 3)
-	for r := range weights {
-		weights[r] = make([]float64, n)
-	}
-	for j := 0; j < n; j++ {
-		w := next()
-		p.AddBinVar("x", w+10) // profit ≈ weight → weak LP bounds
-		weights[0][j] = w
-		weights[1][j] = next()
-		weights[2][j] = w + weights[1][j]/2
-	}
-	rhs := make([]float64, 3)
-	for r, ws := range weights {
-		terms := make([]lp.Term, n)
-		total := 0.0
-		for j, w := range ws {
-			terms[j] = lp.Term{Var: j, Coef: w}
-			total += w
-		}
-		rhs[r] = math.Floor(total / 2)
-		p.AddConstraint(terms, lp.LE, rhs[r])
-	}
-	return p, weights, rhs
+	k := NewHardKnapsack(n, 0)
+	return k.Problem, k.Weights, k.Capacity
 }
 
 func TestDeadlineReturnsFeasibleIncumbent(t *testing.T) {

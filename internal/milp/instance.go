@@ -1,0 +1,81 @@
+package milp
+
+import (
+	"math"
+
+	"billcap/internal/lp"
+)
+
+// KnapsackInstance is a deterministic hard benchmark instance: a
+// strongly-correlated multi-knapsack whose optimality proof needs many
+// branch-and-bound nodes. The paper's hourly MILP carries ≈5·N binaries for
+// N sites, so NewHardKnapsack(5*N, seed) is the standard "paper scale N"
+// workload for solver benchmarks; x = 0 is always feasible, so deadline
+// dives can always manufacture an incumbent.
+type KnapsackInstance struct {
+	*Problem
+	Weights  [][]float64 // one row of item weights per knapsack constraint
+	Capacity []float64   // right-hand side of each knapsack row
+}
+
+// NewHardKnapsack builds a maximization instance over n binaries with three
+// correlated knapsack rows. Profits track weights closely (the classic hard
+// regime, weak LP bounds), and the construction is a pure function of n and
+// seed, so benchmarks and regression tests see identical instances across
+// runs and machines.
+func NewHardKnapsack(n int, seed uint64) KnapsackInstance {
+	p := NewProblem()
+	p.SetMaximize(true)
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	next := func() float64 {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		return float64(seed%100) + 1 // 1..100
+	}
+	weights := make([][]float64, 3)
+	for r := range weights {
+		weights[r] = make([]float64, n)
+	}
+	for j := 0; j < n; j++ {
+		w := next()
+		p.AddBinVar("x", w+10) // profit ≈ weight → weak LP bounds
+		weights[0][j] = w
+		weights[1][j] = next()
+		weights[2][j] = w + weights[1][j]/2
+	}
+	rhs := make([]float64, 3)
+	for r, ws := range weights {
+		terms := make([]lp.Term, n)
+		total := 0.0
+		for j, w := range ws {
+			terms[j] = lp.Term{Var: j, Coef: w}
+			total += w
+		}
+		rhs[r] = math.Floor(total / 2)
+		p.AddConstraint(terms, lp.LE, rhs[r])
+	}
+	return KnapsackInstance{Problem: p, Weights: weights, Capacity: rhs}
+}
+
+// CheckSolution reports whether x is a valid answer for the instance:
+// integral on every binary and within every knapsack capacity.
+func (k KnapsackInstance) CheckSolution(x []float64, tol float64) bool {
+	for v := range x {
+		if k.IsInteger(v) && x[v] != math.Round(x[v]) {
+			return false
+		}
+	}
+	for r, ws := range k.Weights {
+		got := 0.0
+		for j, w := range ws {
+			got += w * x[j]
+		}
+		if got > k.Capacity[r]+tol {
+			return false
+		}
+	}
+	return true
+}

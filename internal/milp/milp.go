@@ -11,6 +11,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"billcap/internal/lp"
@@ -104,6 +105,7 @@ type Solution struct {
 	Incumbents int           // times the incumbent improved during the search
 	Elapsed    time.Duration // wall time of the solve
 	Gap        float64       // |bound − incumbent| remaining at stop (0 when Optimal)
+	Workers    int           // branch-and-bound workers that ran the search
 }
 
 // Options tune the search. The zero value uses defaults suitable for the
@@ -128,6 +130,51 @@ type Options struct {
 	// closed (e.g. an http request context's Done channel). Cancellation is
 	// reported as TimeLimit, with the same incumbent guarantees as Deadline.
 	Cancel <-chan struct{}
+	// Workers is the branch-and-bound worker-pool size: 0 → GOMAXPROCS,
+	// 1 → the sequential best-first search. Each worker owns a private clone
+	// of the root's warm-started dual-simplex state and pulls nodes from a
+	// shared best-first frontier; the incumbent and global bound are shared
+	// so every worker prunes against the best solution found anywhere.
+	Workers int
+	// Deterministic forces the exact sequential node ordering regardless of
+	// Workers, so tests and replays reproduce a solve bit-for-bit. The
+	// parallel search stays exact (same optimum, same feasibility) but its
+	// node ordering — and therefore Nodes/Pivots — depends on scheduling.
+	Deterministic bool
+	// MaxLPPivots caps simplex pivots of the root relaxation solve; 0 → the
+	// LP solver's default. A root that exhausts the cap stops the search with
+	// Status Limit, no incumbent and Gap +Inf.
+	MaxLPPivots int
+}
+
+// effectiveWorkers resolves the worker count: Deterministic pins the
+// sequential search, 0 means one worker per CPU.
+func (o Options) effectiveWorkers() int {
+	if o.Deterministic {
+		return 1
+	}
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// withDefaults fills the zero-value knobs shared by both search modes.
+func (o Options) withDefaults() Options {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 200000
+	}
+	if o.IntTol == 0 {
+		o.IntTol = 1e-4
+	}
+	if o.Gap == 0 {
+		o.Gap = 1e-7
+	}
+	return o
 }
 
 // expired reports whether the solve must stop: the deadline passed (zero
@@ -172,24 +219,25 @@ func (h *nodeHeap) Pop() interface{} {
 // Solve runs best-first branch and bound.
 func (p *Problem) Solve() Solution { return p.SolveWithOptions(Options{}) }
 
-// SolveWithOptions is Solve with explicit options.
+// SolveWithOptions is Solve with explicit options: the sequential best-first
+// search for Workers ≤ 1 (or Deterministic), the shared-frontier worker pool
+// otherwise.
 func (p *Problem) SolveWithOptions(opt Options) Solution {
 	start := time.Now()
-	sol := p.solveWithOptions(opt, start)
+	opt = opt.withDefaults()
+	var sol Solution
+	if w := opt.effectiveWorkers(); w > 1 && p.NumIntegerVars() > 0 {
+		sol = p.solveParallel(opt, start, w)
+		sol.Workers = w
+	} else {
+		sol = p.solveWithOptions(opt, start)
+		sol.Workers = 1
+	}
 	sol.Elapsed = time.Since(start)
 	return sol
 }
 
 func (p *Problem) solveWithOptions(opt Options, start time.Time) Solution {
-	if opt.MaxNodes == 0 {
-		opt.MaxNodes = 200000
-	}
-	if opt.IntTol == 0 {
-		opt.IntTol = 1e-4
-	}
-	if opt.Gap == 0 {
-		opt.Gap = 1e-7
-	}
 	var deadline time.Time
 	if opt.Deadline > 0 {
 		deadline = start.Add(opt.Deadline)
@@ -212,17 +260,9 @@ func (p *Problem) solveWithOptions(opt Options, start time.Time) Solution {
 	// relaxation (root + branch bound rows) is then re-solved by the
 	// warm-started dual simplex — the same strategy lp_solve's
 	// branch-and-bound uses.
-	warm, root := p.Problem.SolveForWarmStart(lp.Options{})
+	warm, root := p.Problem.SolveForWarmStart(lp.Options{MaxPivots: opt.MaxLPPivots})
 	relax := func(bs []branch) lp.Solution {
-		rows := make([]lp.ExtraRow, len(bs))
-		for i, b := range bs {
-			rows[i] = lp.ExtraRow{
-				Terms: []lp.Term{{Var: b.v, Coef: 1}},
-				Rel:   b.rel,
-				RHS:   b.value,
-			}
-		}
-		return warm.ReSolve(rows)
+		return warm.ReSolve(branchRows(bs))
 	}
 	piv += root.Pivots
 	nodes++
@@ -232,7 +272,12 @@ func (p *Problem) solveWithOptions(opt Options, start time.Time) Solution {
 	case lp.Infeasible:
 		return Solution{Status: Infeasible, Nodes: nodes, Pivots: piv}
 	case lp.IterLimit:
-		return Solution{Status: Limit, Nodes: nodes, Pivots: piv}
+		// Through finish, so Gap reads +Inf: there is no incumbent, and the
+		// zero-value Gap of a bare Solution would tell callers "proven
+		// optimal" when nothing was proven at all.
+		s := p.finish(Limit, nil, math.Inf(1), sign, nodes, piv, nil)
+		s.Incumbents = incumbents
+		return s
 	}
 
 	process := func(bs []branch, sol lp.Solution) {
@@ -262,8 +307,11 @@ func (p *Problem) solveWithOptions(opt Options, start time.Time) Solution {
 			if incumbent == nil {
 				// The deadline fired before best-first search reached any
 				// integer point: dive from the best open node so the caller
-				// still gets a feasible answer, not an empty solution.
-				if x, obj, dn, dp := p.dive(h[0], relax, opt.IntTol, sign); x != nil {
+				// still gets a feasible answer, not an empty solution. The
+				// dive runs on borrowed time, so it gets its own bounded
+				// grace deadline rather than a free pass to overshoot by
+				// 2·NumIntegerVars LP re-solves.
+				if x, obj, dn, dp := p.dive(h[0], relax, opt, sign, time.Now().Add(diveGrace(opt.Deadline))); x != nil {
 					incumbent, incumbentObj = x, obj
 					incumbents++
 					nodes += dn
@@ -342,20 +390,62 @@ func (p *Problem) finish(st Status, inc []float64, incObj, sign float64, nodes, 
 	return s
 }
 
+// diveGrace bounds the wall-clock budget of the incumbent-manufacturing dive
+// that runs after the main deadline has already expired. It tracks the
+// caller's own deadline (a caller tolerating 50ms of search tolerates a
+// comparable dive) but is clamped so a near-zero deadline still buys enough
+// time to manufacture an incumbent, and a multi-minute one cannot let the
+// dive overshoot unboundedly.
+func diveGrace(d time.Duration) time.Duration {
+	const (
+		minGrace = 10 * time.Millisecond
+		maxGrace = 250 * time.Millisecond
+	)
+	if d < minGrace {
+		return minGrace
+	}
+	if d > maxGrace {
+		return maxGrace
+	}
+	return d
+}
+
+// branchRows converts accumulated branching bounds into warm-start rows.
+func branchRows(bs []branch) []lp.ExtraRow {
+	rows := make([]lp.ExtraRow, len(bs))
+	for i, b := range bs {
+		rows[i] = lp.ExtraRow{
+			Terms: []lp.Term{{Var: b.v, Coef: 1}},
+			Rel:   b.rel,
+			RHS:   b.value,
+		}
+	}
+	return rows
+}
+
 // dive greedily rounds the most fractional variable of the node's relaxation
 // toward its nearest integer, re-solving the warm-started LP after each added
 // bound, until an integer-feasible point emerges or the attempt is exhausted.
 // At each level the opposite rounding direction is tried when the preferred
-// one is infeasible, so the LP work is bounded by ~2·NumIntegerVars re-solves.
-// This is the deadline path's incumbent manufacturer; a nil x means even the
-// dive found nothing feasible in its bounded budget.
-func (p *Problem) dive(it *node, relax func([]branch) lp.Solution, tol, sign float64) (x []float64, obj float64, nodes, piv int) {
+// one is infeasible, so the LP work is bounded by ~2·NumIntegerVars re-solves
+// AND by the hard deadline: the dive runs after the solve's own deadline has
+// expired, so each level re-checks the clock and on expiry returns the best
+// it can salvage from the partial descent (the current point snapped to
+// integers, if that happens to be feasible) instead of overshooting by the
+// whole dive. A nil x means nothing feasible was found in the budget.
+func (p *Problem) dive(it *node, relax func([]branch) lp.Solution, opt Options, sign float64, hard time.Time) (x []float64, obj float64, nodes, piv int) {
 	bounds := it.bounds
 	sol := it.sol
 	for depth := 0; depth <= 2*p.NumIntegerVars()+1; depth++ {
-		fv := p.mostFractional(sol.X, tol)
+		fv := p.mostFractional(sol.X, opt.IntTol)
 		if fv < 0 {
 			return roundIntegral(sol.X, p.integer), sign * sol.Objective, nodes, piv
+		}
+		if opt.expired(hard) {
+			if x, obj, ok := p.snapRound(sol); ok {
+				return x, sign * obj, nodes, piv
+			}
+			return nil, 0, nodes, piv
 		}
 		v := sol.X[fv]
 		near := branch{fv, lp.LE, math.Floor(v)}
@@ -379,10 +469,43 @@ func (p *Problem) dive(it *node, relax func([]branch) lp.Solution, tol, sign flo
 			}
 		}
 		if !advanced {
-			return nil, 0, nodes, piv
+			break // both rounding directions infeasible; salvage below
 		}
 	}
+	if x, obj, ok := p.snapRound(sol); ok {
+		return x, sign * obj, nodes, piv
+	}
 	return nil, 0, nodes, piv
+}
+
+// snapRound is the dive's last gasp on expiry: snap the current fractional
+// point to integers and keep the result only if it satisfies every
+// constraint. It tries nearest-rounding first, then floor-rounding — which
+// always survives the ≤-rows-with-nonnegative-coefficients family the
+// paper's models (and knapsacks) live in. No LP work, just feasibility
+// sweeps over the rows. The objective is in the problem's own direction,
+// like lp.Solution.Objective.
+func (p *Problem) snapRound(sol lp.Solution) (x []float64, obj float64, ok bool) {
+	nearest := roundIntegral(sol.X, p.integer)
+	floored := append([]float64(nil), sol.X...)
+	for v, isInt := range p.integer {
+		if isInt && v < len(floored) {
+			// Snap numerical noise (a binary at -1e-12 or 1+1e-12) to the
+			// integer it already is before flooring — a raw floor would turn
+			// -1e-12 into -1 and manufacture an infeasibility.
+			if f, r := floored[v], math.Round(floored[v]); math.Abs(f-r) <= 1e-6 {
+				floored[v] = r
+			} else {
+				floored[v] = math.Floor(f)
+			}
+		}
+	}
+	for _, cand := range [][]float64{nearest, floored} {
+		if len(p.Problem.CheckFeasible(cand, 1e-6)) == 0 {
+			return cand, p.Problem.Eval(cand), true
+		}
+	}
+	return nil, 0, false
 }
 
 // hasBranch reports whether the exact bound is already in the list.

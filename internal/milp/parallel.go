@@ -1,0 +1,236 @@
+package milp
+
+import (
+	"container/heap"
+	"math"
+	"sync"
+	"time"
+
+	"billcap/internal/lp"
+)
+
+// parSearch is the state shared by the branch-and-bound worker pool: a
+// best-first frontier, the incumbent, and the effort counters, all guarded by
+// one mutex. Workers hold the lock only for frontier/incumbent bookkeeping —
+// every LP re-solve happens outside it, on the worker's private warm-start
+// clone, so the lock is never held across simplex pivots.
+type parSearch struct {
+	p    *Problem
+	opt  Options
+	sign float64
+
+	deadline time.Time
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	h    nodeHeap
+	// inflight counts nodes popped from the frontier whose expansion has not
+	// finished: the search is exhausted only when the frontier is empty AND
+	// nothing is in flight (an in-flight node may still push children).
+	inflight int
+
+	stopped    bool
+	stopStatus Status
+
+	incumbent    []float64
+	incumbentObj float64 // minimization sense
+	incumbents   int
+	nodes, piv   int
+}
+
+// halt records the first stop reason and wakes every worker. Callers hold mu.
+func (s *parSearch) halt(st Status) {
+	if !s.stopped {
+		s.stopped = true
+		s.stopStatus = st
+	}
+	s.cond.Broadcast()
+}
+
+// offer routes a solved relaxation: dominated nodes are dropped, integral
+// ones become the incumbent, the rest join the frontier. Callers hold mu.
+// fv is the node's most fractional variable (computed outside the lock).
+func (s *parSearch) offer(bs []branch, sol lp.Solution, fv int) {
+	bound := s.sign * sol.Objective
+	if bound >= s.incumbentObj-s.opt.Gap {
+		return // dominated by the shared incumbent
+	}
+	if fv < 0 {
+		s.incumbentObj = bound
+		s.incumbent = roundIntegral(sol.X, s.p.integer)
+		s.incumbents++
+		return
+	}
+	heap.Push(&s.h, &node{bound: bound, bounds: bs, sol: sol})
+	s.cond.Signal()
+}
+
+// run is one worker's loop: pop the globally best open node, expand it on the
+// private warm state, repeat until the frontier is exhausted or a limit hits.
+func (s *parSearch) run(warm *lp.WarmStart) {
+	relax := func(bs []branch) lp.Solution {
+		return warm.ReSolve(branchRows(bs))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.stopped {
+			return
+		}
+		if s.nodes >= s.opt.MaxNodes {
+			s.halt(Limit)
+			return
+		}
+		if s.opt.expired(s.deadline) {
+			s.halt(TimeLimit)
+			return
+		}
+		if len(s.h) == 0 {
+			if s.inflight == 0 {
+				// Exhausted: nothing open and nothing that could still push
+				// children. Wake the waiters so they see it too.
+				s.cond.Broadcast()
+				return
+			}
+			s.cond.Wait()
+			continue
+		}
+		it := heap.Pop(&s.h).(*node)
+		if it.bound >= s.incumbentObj-s.opt.Gap {
+			continue // pruned by an incumbent found after it was pushed
+		}
+		s.inflight++
+		s.mu.Unlock()
+		s.expand(it, relax)
+		s.mu.Lock()
+		s.inflight--
+		if s.inflight == 0 && len(s.h) == 0 {
+			s.cond.Broadcast()
+		}
+	}
+}
+
+// expand branches on the node's already-solved relaxation: up to two child
+// LPs on the worker's private warm state, results folded back under the lock.
+func (s *parSearch) expand(it *node, relax func([]branch) lp.Solution) {
+	sol := it.sol
+	fv := s.p.mostFractional(sol.X, s.opt.IntTol)
+	if fv < 0 {
+		// Tolerance-drift guard, as in the sequential search: integer nodes
+		// become incumbents when pushed, not heap entries.
+		s.mu.Lock()
+		if b := s.sign * sol.Objective; b < s.incumbentObj {
+			s.incumbentObj = b
+			s.incumbent = roundIntegral(sol.X, s.p.integer)
+			s.incumbents++
+		}
+		s.mu.Unlock()
+		return
+	}
+	v := sol.X[fv]
+	downB := branch{fv, lp.LE, math.Floor(v)}
+	upB := branch{fv, lp.GE, math.Ceil(v)}
+	for _, nb := range []branch{downB, upB} {
+		if hasBranch(it.bounds, nb) {
+			// Phantom fraction from numerical noise; skip to guarantee
+			// progress (same rule as the sequential search).
+			continue
+		}
+		child := append(append([]branch(nil), it.bounds...), nb)
+		cs := relax(child)
+		cfv := -1
+		if cs.Status == lp.Optimal {
+			cfv = s.p.mostFractional(cs.X, s.opt.IntTol)
+		}
+		s.mu.Lock()
+		s.nodes++
+		s.piv += cs.Pivots
+		if cs.Status == lp.Optimal {
+			s.offer(child, cs, cfv)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// solveParallel runs best-first branch and bound over a pool of workers
+// sharing one frontier, one incumbent and one global bound. Every worker
+// re-solves node relaxations with its own clone of the root's warm-started
+// dual-simplex basis, so no LP state is shared. The search is exact — the
+// same pruning rule as the sequential solver against a shared incumbent —
+// but node ordering depends on scheduling, so Nodes/Pivots may differ
+// between runs (use Options.Deterministic to pin the sequential ordering).
+func (p *Problem) solveParallel(opt Options, start time.Time, workers int) Solution {
+	var deadline time.Time
+	if opt.Deadline > 0 {
+		deadline = start.Add(opt.Deadline)
+	}
+
+	sign := 1.0
+	if p.Maximizing() {
+		sign = -1
+	}
+
+	warm, root := p.Problem.SolveForWarmStart(lp.Options{MaxPivots: opt.MaxLPPivots})
+	s := &parSearch{
+		p:            p,
+		opt:          opt,
+		sign:         sign,
+		deadline:     deadline,
+		incumbentObj: math.Inf(1),
+		nodes:        1,
+		piv:          root.Pivots,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	switch root.Status {
+	case lp.Unbounded:
+		return Solution{Status: Unbounded, Nodes: s.nodes, Pivots: s.piv}
+	case lp.Infeasible:
+		return Solution{Status: Infeasible, Nodes: s.nodes, Pivots: s.piv}
+	case lp.IterLimit:
+		return p.finish(Limit, nil, math.Inf(1), sign, s.nodes, s.piv, nil)
+	}
+	s.offer(nil, root, p.mostFractional(root.X, opt.IntTol))
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		w := warm
+		if i > 0 {
+			w = warm.Clone() // worker 0 keeps the original; the rest get private bases
+		}
+		wg.Add(1)
+		go func(w *lp.WarmStart) {
+			defer wg.Done()
+			s.run(w)
+		}(w)
+	}
+	wg.Wait()
+
+	if !s.stopped {
+		if s.incumbent == nil {
+			return Solution{Status: Infeasible, Nodes: s.nodes, Pivots: s.piv}
+		}
+		return Solution{
+			Status:     Optimal,
+			X:          s.incumbent,
+			Objective:  sign * s.incumbentObj,
+			Nodes:      s.nodes,
+			Pivots:     s.piv,
+			Incumbents: s.incumbents,
+		}
+	}
+	if s.stopStatus == TimeLimit && s.incumbent == nil && len(s.h) > 0 {
+		// Same guarantee as the sequential deadline path: manufacture a
+		// feasible incumbent with a bounded, deadline-checked dive from the
+		// best open node.
+		relax := func(bs []branch) lp.Solution { return warm.ReSolve(branchRows(bs)) }
+		if x, obj, dn, dp := p.dive(s.h[0], relax, opt, sign, time.Now().Add(diveGrace(opt.Deadline))); x != nil {
+			s.incumbent, s.incumbentObj = x, obj
+			s.incumbents++
+			s.nodes += dn
+			s.piv += dp
+		}
+	}
+	fin := p.finish(s.stopStatus, s.incumbent, s.incumbentObj, sign, s.nodes, s.piv, s.h)
+	fin.Incumbents = s.incumbents
+	return fin
+}

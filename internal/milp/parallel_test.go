@@ -1,0 +1,187 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"billcap/internal/lp"
+)
+
+// TestParallelMatchesSequentialProperty is the parallel-vs-sequential
+// equivalence property: on randomized paper-scale instances, Workers ∈
+// {1, 2, 8} must agree on the status, agree on the optimal objective within
+// the solver's own gap, and return feasible, exactly-integral incumbents.
+// Run under -race in CI, this is also the data-race probe for the shared
+// frontier and incumbent.
+func TestParallelMatchesSequentialProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nb := 8 + r.Intn(8) // 8..15 binaries ≈ a 2-3 site hour
+		nc := r.Intn(4)
+		p, _ := randomBinaryProblem(r, nb, nc)
+
+		seq := p.SolveWithOptions(Options{Workers: 1})
+		for _, w := range []int{2, 8} {
+			par := p.SolveWithOptions(Options{Workers: w})
+			if par.Status != seq.Status {
+				t.Logf("seed %d workers %d: status %v vs sequential %v", seed, w, par.Status, seq.Status)
+				return false
+			}
+			if par.Workers != w {
+				t.Logf("seed %d: Solution.Workers = %d, want %d", seed, par.Workers, w)
+				return false
+			}
+			if seq.Status != Optimal {
+				continue
+			}
+			tol := 1e-5 * (1 + math.Abs(seq.Objective))
+			if !near(par.Objective, seq.Objective, tol) {
+				t.Logf("seed %d workers %d: objective %v vs sequential %v", seed, w, par.Objective, seq.Objective)
+				return false
+			}
+			if v := p.CheckFeasible(par.X, 1e-6); len(v) != 0 {
+				t.Logf("seed %d workers %d: incumbent infeasible: %v", seed, w, v)
+				return false
+			}
+			for j := 0; j < nb; j++ {
+				if par.X[j] != 0 && par.X[j] != 1 {
+					t.Logf("seed %d workers %d: binary %d = %v not integral", seed, w, j, par.X[j])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelSolvesHardInstance checks the pool on a single instance large
+// enough for real contention on the shared frontier: the parallel optimum
+// must match the sequential one exactly (both proven).
+func TestParallelSolvesHardInstance(t *testing.T) {
+	k := NewHardKnapsack(24, 7)
+	seq := k.SolveWithOptions(Options{Workers: 1})
+	if seq.Status != Optimal {
+		t.Fatalf("sequential: %v", seq.Status)
+	}
+	par := k.SolveWithOptions(Options{Workers: 8})
+	if par.Status != Optimal {
+		t.Fatalf("parallel: %v", par.Status)
+	}
+	if !near(par.Objective, seq.Objective, 1e-6*(1+math.Abs(seq.Objective))) {
+		t.Fatalf("parallel objective %v != sequential %v", par.Objective, seq.Objective)
+	}
+	if !k.CheckSolution(par.X, 1e-6) {
+		t.Fatal("parallel incumbent infeasible")
+	}
+}
+
+// TestDeterministicReproducesSequential pins the Deterministic knob: with it
+// set, any Workers value must reproduce the sequential search bit-for-bit —
+// same node count, same pivots, same incumbent vector.
+func TestDeterministicReproducesSequential(t *testing.T) {
+	k := NewHardKnapsack(18, 3)
+	want := k.SolveWithOptions(Options{Workers: 1})
+	got := k.SolveWithOptions(Options{Workers: 8, Deterministic: true})
+	if got.Workers != 1 {
+		t.Errorf("deterministic solve reports %d workers, want 1 (sequential ordering)", got.Workers)
+	}
+	if got.Status != want.Status || got.Nodes != want.Nodes || got.Pivots != want.Pivots {
+		t.Fatalf("deterministic run diverged: status %v/%v nodes %d/%d pivots %d/%d",
+			got.Status, want.Status, got.Nodes, want.Nodes, got.Pivots, want.Pivots)
+	}
+	if got.Objective != want.Objective {
+		t.Fatalf("deterministic objective %v != sequential %v", got.Objective, want.Objective)
+	}
+	for i := range want.X {
+		if got.X[i] != want.X[i] {
+			t.Fatalf("x[%d] = %v != sequential %v", i, got.X[i], want.X[i])
+		}
+	}
+}
+
+// TestParallelDeadlineReturnsFeasibleIncumbent mirrors the sequential
+// deadline contract for the worker pool: an expiring parallel solve answers
+// TimeLimit with a feasible incumbent and a nonnegative gap.
+func TestParallelDeadlineReturnsFeasibleIncumbent(t *testing.T) {
+	k := NewHardKnapsack(40, 0)
+	sol := k.SolveWithOptions(Options{Deadline: 2 * time.Millisecond, Workers: 4})
+	if sol.Status != TimeLimit {
+		t.Skipf("instance solved to %v before the deadline fired", sol.Status)
+	}
+	if sol.X == nil {
+		t.Fatal("parallel deadline answer carries no incumbent")
+	}
+	if !k.CheckSolution(sol.X, 1e-6) {
+		t.Fatal("parallel deadline incumbent infeasible")
+	}
+	if sol.Gap < 0 {
+		t.Errorf("negative remaining gap %v", sol.Gap)
+	}
+	if sol.Elapsed > 2*time.Second {
+		t.Errorf("deadline solve took %v — the pool did not stop", sol.Elapsed)
+	}
+}
+
+// TestParallelCancelAbortsSearch: a pre-closed cancel channel must stop the
+// pool after at most the root solve, with the usual incumbent manufacture.
+func TestParallelCancelAbortsSearch(t *testing.T) {
+	k := NewHardKnapsack(40, 0)
+	done := make(chan struct{})
+	close(done)
+	sol := k.SolveWithOptions(Options{Cancel: done, Workers: 4})
+	if sol.Status != TimeLimit {
+		t.Fatalf("status = %v, want time-limit on pre-closed cancel", sol.Status)
+	}
+	if sol.X == nil {
+		t.Fatal("cancel returned no incumbent")
+	}
+}
+
+// TestParallelTerminalStatuses pins the pass-through of root-level outcomes.
+func TestParallelTerminalStatuses(t *testing.T) {
+	inf := NewProblem()
+	x := inf.AddIntVar("x", 1)
+	inf.AddConstraint([]lp.Term{{Var: x, Coef: 2}}, lp.EQ, 3)
+	if s := inf.SolveWithOptions(Options{Workers: 4}); s.Status != Infeasible {
+		t.Errorf("integer-infeasible: %v, want infeasible", s.Status)
+	}
+
+	unb := NewProblem()
+	y := unb.AddIntVar("y", -1)
+	unb.AddConstraint([]lp.Term{{Var: y, Coef: 1}}, lp.GE, 0)
+	if s := unb.SolveWithOptions(Options{Workers: 4}); s.Status != Unbounded {
+		t.Errorf("unbounded: %v, want unbounded", s.Status)
+	}
+}
+
+// TestParallelMaxNodes: the shared node counter must stop the pool near the
+// cap with a valid limit answer.
+func TestParallelMaxNodes(t *testing.T) {
+	k := NewHardKnapsack(30, 5)
+	sol := k.SolveWithOptions(Options{Workers: 4, MaxNodes: 50})
+	switch sol.Status {
+	case Limit:
+		if sol.X != nil && sol.Gap < 0 {
+			t.Errorf("negative gap %v", sol.Gap)
+		}
+		if sol.X == nil && !math.IsInf(sol.Gap, 1) {
+			t.Errorf("no incumbent but gap %v, want +Inf", sol.Gap)
+		}
+	case Optimal, Infeasible:
+		// Fine: the instance closed inside the cap.
+	default:
+		t.Fatalf("status %v under node cap", sol.Status)
+	}
+	// Granularity: every worker may finish its in-flight expansion (≤ 2 LP
+	// solves each) after the cap trips, nothing more.
+	if sol.Nodes > 50+2*8 {
+		t.Errorf("nodes = %d, far past the cap of 50", sol.Nodes)
+	}
+}

@@ -1,0 +1,93 @@
+package milp
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"billcap/internal/lp"
+)
+
+// TestRootIterLimitReportsInfiniteGap pins the gap-reporting contract of the
+// root pivot-limit path: with no incumbent there is nothing to bound, so Gap
+// must be +Inf. The pre-fix code returned a bare Solution whose zero-value
+// Gap == 0 — callers reading "gap 0" concluded the answer was proven optimal
+// when the solver had in fact proven nothing at all.
+func TestRootIterLimitReportsInfiniteGap(t *testing.T) {
+	// max x + y over x ≤ 1, y ≤ 1 needs two pivots; cap at one so the root
+	// relaxation exhausts its budget.
+	p := NewProblem()
+	x := p.AddIntVar("x", 1)
+	y := p.AddIntVar("y", 1)
+	p.SetMaximize(true)
+	p.AddConstraint([]lp.Term{{Var: x, Coef: 1}}, lp.LE, 1)
+	p.AddConstraint([]lp.Term{{Var: y, Coef: 1}}, lp.LE, 1)
+
+	for _, workers := range []int{1, 4} {
+		sol := p.SolveWithOptions(Options{MaxLPPivots: 1, Workers: workers})
+		if sol.Status != Limit {
+			t.Fatalf("workers=%d: status = %v, want node-limit from root pivot cap", workers, sol.Status)
+		}
+		if sol.X != nil {
+			t.Errorf("workers=%d: X = %v, want no incumbent", workers, sol.X)
+		}
+		if !math.IsInf(sol.Gap, 1) {
+			t.Errorf("workers=%d: gap = %v with no incumbent, want +Inf — a zero gap reads as proven optimal",
+				workers, sol.Gap)
+		}
+	}
+}
+
+// TestDiveRespectsDeadline pins the overshoot bound of the deadline path's
+// incumbent-manufacturing dive. Pre-fix, the dive performed up to
+// 2·NumIntegerVars warm LP re-solves with no deadline check of its own, so a
+// near-zero deadline on a large instance overshot by the whole dive —
+// hundreds of re-solves on steadily growing tableaus, multiple seconds.
+// Post-fix the dive re-checks the clock every level and stops inside its
+// bounded grace budget.
+func TestDiveRespectsDeadline(t *testing.T) {
+	k := NewHardKnapsack(400, 0)
+	start := time.Now()
+	sol := k.SolveWithOptions(Options{Deadline: time.Nanosecond})
+	elapsed := time.Since(start)
+	if sol.Status != TimeLimit {
+		t.Fatalf("status = %v, want time-limit", sol.Status)
+	}
+	// Budget: one root LP solve (the cooperative floor), the dive's clamped
+	// grace (≤ 250ms), and scheduler slack. The pre-fix full dive runs
+	// ~2·300 re-solves and blows far past this.
+	const bound = 2 * time.Second
+	if elapsed > bound {
+		t.Fatalf("near-zero deadline took %v, want < %v — the dive is not deadline-checked", elapsed, bound)
+	}
+	// Whatever the dive salvaged must be honest: either a feasible integral
+	// incumbent with a finite gap, or no incumbent and an infinite gap.
+	if sol.X != nil {
+		if !k.CheckSolution(sol.X, 1e-6) {
+			t.Fatalf("salvaged incumbent is infeasible: %v", sol.X)
+		}
+		if math.IsInf(sol.Gap, 1) || sol.Gap < 0 {
+			t.Errorf("incumbent present but gap = %v", sol.Gap)
+		}
+	} else if !math.IsInf(sol.Gap, 1) {
+		t.Errorf("no incumbent but gap = %v, want +Inf", sol.Gap)
+	}
+}
+
+// TestDeadlineStillManufacturesIncumbent pins that the bounded dive keeps the
+// original guarantee on the paper-scale regime: the grace budget is enough to
+// manufacture a feasible incumbent for instances the controller actually
+// solves (the flag-day failure would be a deadline answer with no plan).
+func TestDeadlineStillManufacturesIncumbent(t *testing.T) {
+	k := NewHardKnapsack(40, 0)
+	sol := k.SolveWithOptions(Options{Deadline: time.Millisecond})
+	if sol.Status != TimeLimit {
+		t.Skipf("instance solved to %v before the deadline fired", sol.Status)
+	}
+	if sol.X == nil {
+		t.Fatal("deadline answer carries no incumbent")
+	}
+	if !k.CheckSolution(sol.X, 1e-6) {
+		t.Fatalf("manufactured incumbent infeasible: %v", sol.X)
+	}
+}

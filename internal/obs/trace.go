@@ -56,6 +56,7 @@ type SolverTrace struct {
 	Pivots     int     `json:"pivots"`
 	Incumbents int     `json:"incumbents"`
 	Timeouts   int     `json:"timeouts,omitempty"`
+	Workers    int     `json:"workers,omitempty"`
 	WallMS     float64 `json:"wallMS"`
 }
 
