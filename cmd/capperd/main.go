@@ -48,6 +48,8 @@ func main() {
 		"per-decision solver deadline; an expiring solve answers with its best incumbent (0 = unbounded)")
 	workers := flag.Int("solver-workers", 0,
 		"branch-and-bound workers per MILP solve, and the concurrency budget of /v1/decide/batch (0 = GOMAXPROCS)")
+	solverCache := flag.Bool("solver-cache", false,
+		"incremental hour-over-hour solving: MILP presolve plus a cross-hour warm-start cache (skeleton, basis, incumbent)")
 	flag.Parse()
 
 	if *variant < 0 || *variant > 3 {
@@ -62,7 +64,7 @@ func main() {
 		dcs = dcmodel.SyntheticSites(*sites)
 		pols = pricing.Synthetic(*sites)
 	}
-	srv, err := api.New(dcs, pols, core.Options{SolveDeadline: *deadline, SolverWorkers: *workers})
+	srv, err := api.New(dcs, pols, core.Options{SolveDeadline: *deadline, SolverWorkers: *workers, SolverCache: *solverCache})
 	if err != nil {
 		log.Fatalf("capperd: %v", err)
 	}

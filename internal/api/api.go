@@ -318,6 +318,11 @@ type DecideResponse struct {
 	SolverTimeouts   int            `json:"solverTimeouts,omitempty"`
 	SolverWorkers    int            `json:"solverWorkers,omitempty"`
 	SolverWallMS     float64        `json:"solverWallMS"`
+	// SolverPresolveFixed / SolverWarmStarted report the incremental-solving
+	// path (presolved binaries, warm-started solves); 0 unless the server
+	// runs with the solve cache enabled.
+	SolverPresolveFixed int `json:"solverPresolveFixed,omitempty"`
+	SolverWarmStarted   int `json:"solverWarmStarted,omitempty"`
 }
 
 // hourInputFrom maps the wire request onto the controller's input; a
@@ -353,6 +358,9 @@ func (s *Server) decideResponseFrom(dec core.Decision) DecideResponse {
 		SolverTimeouts:   dec.Solver.Timeouts,
 		SolverWorkers:    dec.Solver.Workers,
 		SolverWallMS:     float64(dec.Solver.WallTime.Microseconds()) / 1e3,
+
+		SolverPresolveFixed: dec.Solver.PresolveFixed,
+		SolverWarmStarted:   dec.Solver.WarmStarted,
 	}
 	if dec.Degraded != core.DegradeNone {
 		resp.Degraded = dec.Degraded.String()

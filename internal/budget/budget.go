@@ -71,8 +71,13 @@ func (b *Budgeter) Share(h int) float64 {
 
 // HourlyBudget returns the budget available to the next hour: its base share
 // plus whatever this week's earlier hours left unused (or overdrew). The
-// result is never negative.
+// result is never negative, and once every hour of the period has been
+// recorded there is no next hour to fund, so the result is 0 regardless of
+// any leftover carryover pool.
 func (b *Budgeter) HourlyBudget() float64 {
+	if b.next >= b.Horizon() {
+		return 0
+	}
 	v := b.Share(b.next) + b.pool
 	if v < 0 {
 		return 0

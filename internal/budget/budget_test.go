@@ -220,3 +220,22 @@ func TestConservationProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestHourlyBudgetZeroAfterExhaustion(t *testing.T) {
+	// Underspend every hour so the carryover pool is positive, then exhaust
+	// the period: with no next hour to fund, HourlyBudget must report 0, not
+	// the leftover pool.
+	b, _ := New(10, uniformPred(2))
+	if err := b.Record(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Record(1); err != nil {
+		t.Fatal(err)
+	}
+	if b.Pool() <= 0 {
+		t.Fatalf("test needs a positive pool, got %v", b.Pool())
+	}
+	if got := b.HourlyBudget(); got != 0 {
+		t.Errorf("HourlyBudget after exhaustion = %v, want 0", got)
+	}
+}

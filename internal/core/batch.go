@@ -21,6 +21,12 @@ import (
 // Results are index-aligned with ins: decs[i] answers ins[i], errs[i] is its
 // error (nil on success). The context bounds every solve; its deadline and
 // cancellation propagate into branch-and-bound exactly as in DecideHourCtx.
+//
+// The batch is split into contiguous chunks, one per concurrent worker, each
+// processed in input order. For hour sequences this is the cache-friendly
+// order: with Options.SolverCache on, hour h's optimum seeds hour h+1 inside
+// the same chunk, so a re-optimized horizon warm-starts almost every solve
+// instead of interleaving unrelated hours through the shared cache.
 func (s *System) DecideBatch(ctx context.Context, ins []HourInput) ([]Decision, []error) {
 	decs := make([]Decision, len(ins))
 	errs := make([]error, len(ins))
@@ -36,23 +42,27 @@ func (s *System) DecideBatch(ctx context.Context, ins []HourInput) ([]Decision, 
 		conc = len(ins)
 	}
 	perSolve := budget / conc
+	chunk := (len(ins) + conc - 1) / conc
 
-	sem := make(chan struct{}, conc)
 	var wg sync.WaitGroup
-	for i := range ins {
+	for lo := 0; lo < len(ins); lo += chunk {
+		hi := lo + chunk
+		if hi > len(ins) {
+			hi = len(ins)
+		}
 		wg.Add(1)
-		go func(i int) {
+		go func(lo, hi int) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			so, err := boundByCtx(ctx, s.solveOptions())
-			if err != nil {
-				errs[i] = err
-				return
+			for i := lo; i < hi; i++ {
+				so, err := boundByCtx(ctx, s.solveOptions())
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				so.Workers = perSolve
+				decs[i], errs[i] = s.decideWith(ins[i], so)
 			}
-			so.Workers = perSolve
-			decs[i], errs[i] = s.decideWith(ins[i], so)
-		}(i)
+		}(lo, hi)
 	}
 	wg.Wait()
 	return decs, errs

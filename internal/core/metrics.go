@@ -29,6 +29,8 @@ type Metrics struct {
 	milpIncumbents *obs.Counter
 	milpSeconds    *obs.Histogram
 	milpWorkers    *obs.Gauge
+	presolveFixed  *obs.Counter
+	warmstartHits  *obs.Counter
 
 	predictedCost *obs.Gauge
 	servedLambda  *obs.Gauge
@@ -67,6 +69,10 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Wall time spent inside MILP solves per decision, seconds.", obs.DefBuckets),
 		milpWorkers: reg.Gauge("billcap_milp_workers",
 			"Branch-and-bound workers used by the last decision's MILP solves."),
+		presolveFixed: reg.Counter("billcap_solver_presolve_fixed_total",
+			"Integer variables fixed by MILP presolve before branch-and-bound started."),
+		warmstartHits: reg.Counter("billcap_solver_warmstart_hits_total",
+			"MILP solves seeded with a previous hour's optimum as the starting incumbent."),
 
 		predictedCost: reg.Gauge("billcap_decide_predicted_cost_usd",
 			"Predicted electricity cost of the last decision."),
@@ -131,6 +137,8 @@ func (m *Metrics) observe(s *System, dec Decision, err error, elapsed time.Durat
 	m.milpIncumbents.Add(float64(dec.Solver.Incumbents))
 	m.milpSeconds.Observe(dec.Solver.WallTime.Seconds())
 	m.milpWorkers.Set(float64(dec.Solver.Workers))
+	m.presolveFixed.Add(float64(dec.Solver.PresolveFixed))
+	m.warmstartHits.Add(float64(dec.Solver.WarmStarted))
 
 	m.predictedCost.Set(dec.PredictedCostUSD)
 	m.servedLambda.Set(dec.Served)

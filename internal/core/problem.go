@@ -33,6 +33,12 @@ type SolverStats struct {
 	// Workers is the largest branch-and-bound worker-pool size any solve in
 	// the decision ran with (1 = sequential).
 	Workers int
+	// PresolveFixed counts integer variables fixed by presolve before the
+	// searches started (0 unless the solve cache is enabled).
+	PresolveFixed int
+	// WarmStarted counts solves that accepted a previous hour's optimum as
+	// their starting incumbent.
+	WarmStarted int
 }
 
 func (st *SolverStats) add(sol milp.Solution) {
@@ -41,6 +47,10 @@ func (st *SolverStats) add(sol milp.Solution) {
 	st.Pivots += sol.Pivots
 	st.Incumbents += sol.Incumbents
 	st.WallTime += sol.Elapsed
+	st.PresolveFixed += sol.PresolveFixed
+	if sol.WarmStarted {
+		st.WarmStarted++
+	}
 	if sol.Workers > st.Workers {
 		st.Workers = sol.Workers
 	}
@@ -58,6 +68,8 @@ func (st *SolverStats) Accumulate(o SolverStats) {
 	st.Incumbents += o.Incumbents
 	st.Timeouts += o.Timeouts
 	st.WallTime += o.WallTime
+	st.PresolveFixed += o.PresolveFixed
+	st.WarmStarted += o.WarmStarted
 	if o.Workers > st.Workers {
 		st.Workers = o.Workers
 	}
@@ -165,11 +177,15 @@ type Decision struct {
 	Solver   SolverStats
 }
 
-// siteVars holds the MILP variable handles of one site.
+// siteVars holds the MILP variable handles of one site, plus the indices of
+// the rows whose coefficients move hour to hour (the solve cache patches
+// exactly these on a cloned skeleton instead of rebuilding the model).
 type siteVars struct {
-	x   int // scaled workload
-	y   int // on/off binary
-	enc piecewise.Encoded
+	x      int // scaled workload
+	y      int // on/off binary
+	enc    piecewise.Encoded
+	powRow int // affine power link: x coefficient is −a·scale
+	capRow int // capacity link: y coefficient is −xmax/scale
 }
 
 // lambdaScale returns the scaling that keeps workload variables around ≤1e3
@@ -202,6 +218,7 @@ func (s *System) buildBase(in HourInput, scale, maxLoad float64) (*milp.Problem,
 		sel := append(enc.SelectorTerms(), lp.Term{Var: y, Coef: -1})
 		m.AddConstraint(sel, lp.EQ, 0)
 		// Affine power link p − a·scale·x − b·y = 0.
+		powRow := m.NumConstraints()
 		m.AddConstraint([]lp.Term{
 			{Var: enc.Power, Coef: 1},
 			{Var: x, Coef: -sm.affine.A * scale},
@@ -209,6 +226,7 @@ func (s *System) buildBase(in HourInput, scale, maxLoad float64) (*milp.Problem,
 		}, lp.EQ, 0)
 		// Capacity: x ≤ min(xmax, λ)·y links load to the on/off state.
 		xmax := math.Min(sm.maxLambda, maxLoad)
+		capRow := m.NumConstraints()
 		m.AddConstraint([]lp.Term{
 			{Var: x, Coef: 1},
 			{Var: y, Coef: -xmax / scale},
@@ -217,7 +235,7 @@ func (s *System) buildBase(in HourInput, scale, maxLoad float64) (*milp.Problem,
 			// Outage: force the site off; the capacity row then pins x = 0.
 			m.AddConstraint([]lp.Term{{Var: y, Coef: 1}}, lp.EQ, 0)
 		}
-		vars[i] = siteVars{x: x, y: y, enc: enc}
+		vars[i] = siteVars{x: x, y: y, enc: enc, powRow: powRow, capRow: capRow}
 	}
 	return m, vars, nil
 }
@@ -267,10 +285,10 @@ func (s *System) decisionFrom(sol milp.Solution, vars []siteVars, scale float64)
 // lambda requests/hour at minimum predicted electricity cost subject to the
 // SLA, per-site power caps and the optimizer's price model.
 func (s *System) MinimizeCost(in HourInput, lambda float64, stats *SolverStats) (Decision, error) {
-	return s.minimizeCost(in, lambda, stats, s.solveOptions())
+	return s.minimizeCost(in, lambda, stats, s.solveOptions(), kindMinCostTotal)
 }
 
-func (s *System) minimizeCost(in HourInput, lambda float64, stats *SolverStats, so milp.Options) (Decision, error) {
+func (s *System) minimizeCost(in HourInput, lambda float64, stats *SolverStats, so milp.Options, kind solveKind) (Decision, error) {
 	if err := s.ValidateInput(in); err != nil {
 		return Decision{}, err
 	}
@@ -278,7 +296,7 @@ func (s *System) minimizeCost(in HourInput, lambda float64, stats *SolverStats, 
 		return Decision{}, fmt.Errorf("%w: negative workload %v", ErrBadInput, lambda)
 	}
 	scale := lambdaScale(lambda)
-	m, vars, err := s.buildBase(in, scale, lambda)
+	m, vars, sig, err := s.buildHour(in, scale, lambda)
 	if err != nil {
 		return Decision{}, err
 	}
@@ -291,10 +309,12 @@ func (s *System) minimizeCost(in HourInput, lambda float64, stats *SolverStats, 
 	for _, t := range costTerms(vars) {
 		m.SetObjectiveCoef(t.Var, m.ObjectiveCoef(t.Var)+t.Coef)
 	}
+	so = s.warmOptions(so, kind, sig, m, vars, in, scale, lambda, true, math.Inf(1))
 	sol := m.SolveWithOptions(so)
 	if stats != nil {
 		stats.add(sol)
 	}
+	s.rememberSolve(kind, sig, sol, m, vars, scale)
 	switch sol.Status {
 	case milp.Optimal:
 	case milp.TimeLimit:
@@ -349,15 +369,15 @@ func (s *System) WriteHourModel(w io.Writer, in HourInput, lambda float64) error
 // the budget. Ties in throughput break toward cheaper allocations via a tiny
 // cost penalty.
 func (s *System) MaximizeThroughput(in HourInput, stats *SolverStats) (Decision, error) {
-	return s.maximizeThroughput(in, stats, s.solveOptions())
+	return s.maximizeThroughput(in, stats, s.solveOptions(), kindMaxThroughput)
 }
 
-func (s *System) maximizeThroughput(in HourInput, stats *SolverStats, so milp.Options) (Decision, error) {
+func (s *System) maximizeThroughput(in HourInput, stats *SolverStats, so milp.Options, kind solveKind) (Decision, error) {
 	if err := s.ValidateInput(in); err != nil {
 		return Decision{}, err
 	}
 	scale := lambdaScale(in.TotalLambda)
-	m, vars, err := s.buildBase(in, scale, in.TotalLambda)
+	m, vars, sig, err := s.buildHour(in, scale, in.TotalLambda)
 	if err != nil {
 		return Decision{}, err
 	}
@@ -380,10 +400,12 @@ func (s *System) maximizeThroughput(in HourInput, stats *SolverStats, so milp.Op
 	for _, t := range costTerms(vars) {
 		m.SetObjectiveCoef(t.Var, m.ObjectiveCoef(t.Var)-eps*t.Coef)
 	}
+	so = s.warmOptions(so, kind, sig, m, vars, in, scale, in.TotalLambda, false, in.BudgetUSD)
 	sol := m.SolveWithOptions(so)
 	if stats != nil {
 		stats.add(sol)
 	}
+	s.rememberSolve(kind, sig, sol, m, vars, scale)
 	switch {
 	case sol.Status == milp.Optimal:
 	case sol.Status == milp.TimeLimit && len(sol.X) > 0:

@@ -88,6 +88,15 @@ type Options struct {
 	// DeterministicSolver pins the sequential node ordering regardless of
 	// SolverWorkers, for reproducible replays and tests.
 	DeterministicSolver bool
+	// SolverCache enables incremental hour-over-hour solving: the MILP
+	// presolve runs before every search, the hour-invariant model skeleton is
+	// memoized (subsequent hours clone it and patch only the changed
+	// coefficients), and each solve is seeded with the previous hour's
+	// optimal basis and integer solution (re-checked for feasibility) as the
+	// starting incumbent. Purely an acceleration: every seed is screened
+	// before use, so decisions are bitwise-equivalent in objective to cold
+	// solves up to the solver's optimality gap.
+	SolverCache bool
 }
 
 // solveOptions derives the per-solve MILP options from the system options.
@@ -136,6 +145,11 @@ type System struct {
 	opts    Options
 	models  []siteModel
 	metrics atomic.Pointer[Metrics] // optional instrumentation (see SetMetrics)
+	// cache is the cross-hour solve cache (nil unless Options.SolverCache).
+	// It is internally locked, so the concurrency contract above still holds:
+	// concurrent decisions race only on which hour's optimum seeds the next
+	// solve, never on correctness.
+	cache *SolveCache
 }
 
 // NewSystem validates and assembles a system with the given optimizer
@@ -148,6 +162,9 @@ func NewSystem(dcs []*dcmodel.Site, policies []pricing.Policy, opts Options) (*S
 		return nil, fmt.Errorf("core: %d data centers but %d policies", len(dcs), len(policies))
 	}
 	s := &System{opts: opts}
+	if opts.SolverCache {
+		s.cache = newSolveCache()
+	}
 	for i, dc := range dcs {
 		if err := dc.Validate(); err != nil {
 			return nil, fmt.Errorf("core: site %d: %w", i, err)

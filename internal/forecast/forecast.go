@@ -41,12 +41,10 @@ func FitHourOfWeek(history timeseries.Series) (*HourOfWeek, error) {
 }
 
 // Predict returns the expected value for absolute hour h (same epoch as the
-// history: hour 0 = Monday 00:00).
+// history: hour 0 = Monday 00:00). Negative hours index backwards from that
+// epoch, so h = −1 is Sunday 23:00 of the previous week.
 func (f *HourOfWeek) Predict(h int) float64 {
-	if h < 0 {
-		h = -h
-	}
-	return f.means[h%HoursPerWeek]
+	return f.means[((h%HoursPerWeek)+HoursPerWeek)%HoursPerWeek]
 }
 
 // PredictSeries materializes predictions for hours [0, n).
@@ -60,23 +58,28 @@ func (f *HourOfWeek) PredictSeries(n int) timeseries.Series {
 
 // EWMA is an exponentially weighted moving average predictor.
 type EWMA struct {
-	Alpha float64 // smoothing factor in (0, 1]
+	Alpha float64 // smoothing factor in (0, 1]; out-of-range values are normalized to DefaultAlpha on first use
 	value float64
 	seen  bool
 }
 
-// Observe feeds one observation.
+// DefaultAlpha replaces an out-of-range or non-finite EWMA.Alpha.
+const DefaultAlpha = 0.2
+
+// Observe feeds one observation. An Alpha outside (0, 1] (including NaN) is
+// normalized to DefaultAlpha before any observation is applied, so the
+// smoothing factor in effect never depends on which observation arrived
+// first.
 func (e *EWMA) Observe(v float64) {
+	if !(e.Alpha > 0 && e.Alpha <= 1) { // also catches NaN
+		e.Alpha = DefaultAlpha
+	}
 	if !e.seen {
 		e.value = v
 		e.seen = true
 		return
 	}
-	a := e.Alpha
-	if a <= 0 || a > 1 {
-		a = 0.2
-	}
-	e.value = a*v + (1-a)*e.value
+	e.value = e.Alpha*v + (1-e.Alpha)*e.value
 }
 
 // Predict returns the current estimate (0 before any observation).

@@ -54,13 +54,45 @@ func TestHourOfWeekPredictsWikipediaShape(t *testing.T) {
 }
 
 func TestPredictNegativeHour(t *testing.T) {
+	// Negative hours count backwards from the epoch: h = −1 is Sunday 23:00
+	// (bucket 167), not Monday 01:00 (bucket 1), which the old `h = -h`
+	// mirroring produced.
 	hist := make(timeseries.Series, 168)
 	for i := range hist {
 		hist[i] = float64(i)
 	}
 	f, _ := FitHourOfWeek(hist)
-	if got := f.Predict(-3); got != f.Predict(3) {
-		t.Errorf("negative hour mishandled: %v vs %v", got, f.Predict(3))
+	cases := []struct{ h, bucket int }{
+		{-1, 167}, {-3, 165}, {-168, 0}, {-169, 167}, {-336, 0},
+		{0, 0}, {167, 167}, {168, 0},
+	}
+	for _, c := range cases {
+		if got, want := f.Predict(c.h), f.Predict(c.bucket); got != want {
+			t.Errorf("Predict(%d) = %v, want bucket %d = %v", c.h, got, c.bucket, want)
+		}
+	}
+}
+
+func TestEWMAAlphaNormalizedOnFirstObservation(t *testing.T) {
+	// The invalid-Alpha default must apply from the very first observation,
+	// not only on the second-and-later path: after one Observe the field
+	// itself holds the normalized value.
+	for _, bad := range []float64{-1, 0, 7, math.NaN()} {
+		e := EWMA{Alpha: bad}
+		e.Observe(10)
+		if e.Alpha != DefaultAlpha {
+			t.Errorf("Alpha %v not normalized on first observation: got %v, want %v", bad, e.Alpha, DefaultAlpha)
+		}
+		e.Observe(0)
+		if got := e.Predict(); math.Abs(got-8) > 1e-12 {
+			t.Errorf("Alpha %v: prediction after {10, 0} = %v, want 8", bad, got)
+		}
+	}
+	// A valid Alpha is left alone.
+	e := EWMA{Alpha: 0.5}
+	e.Observe(10)
+	if e.Alpha != 0.5 {
+		t.Errorf("valid Alpha rewritten to %v", e.Alpha)
 	}
 }
 

@@ -1,0 +1,122 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// transportLP builds a small mixed LE/GE/EQ problem whose structure stays
+// fixed while supply/demand numbers move — the shape of one capper hour.
+func transportLP(supply1, supply2, demand float64) *Problem {
+	p := NewProblem()
+	x1 := p.AddVar("x1", 3)
+	x2 := p.AddVar("x2", 5)
+	p.AddConstraint([]Term{{Var: x1, Coef: 1}}, LE, supply1)
+	p.AddConstraint([]Term{{Var: x2, Coef: 1}}, LE, supply2)
+	p.AddConstraint([]Term{{Var: x1, Coef: 1}, {Var: x2, Coef: 1}}, EQ, demand)
+	p.AddConstraint([]Term{{Var: x1, Coef: 2}, {Var: x2, Coef: 1}}, GE, demand/2)
+	return p
+}
+
+func TestCrashBasisReproducesColdOptimum(t *testing.T) {
+	base := transportLP(10, 10, 12)
+	w, root := base.SolveForWarmStart(Options{})
+	if root.Status != Optimal {
+		t.Fatalf("base: %v", root.Status)
+	}
+	basis := w.Basis()
+
+	// Next "hour": same structure, shifted numbers.
+	next := transportLP(9, 11, 14)
+	cold := next.Solve()
+	warm := next.SolveWithOptions(Options{CrashBasis: basis})
+	if cold.Status != Optimal || warm.Status != Optimal {
+		t.Fatalf("cold %v warm %v", cold.Status, warm.Status)
+	}
+	if !near(cold.Objective, warm.Objective, 1e-9*(1+cold.Objective)) {
+		t.Errorf("warm objective %v != cold %v", warm.Objective, cold.Objective)
+	}
+	if res := next.CheckFeasible(warm.X, 1e-8); len(res) != 0 {
+		t.Errorf("warm solution infeasible: %v", res)
+	}
+}
+
+func TestCrashBasisInvalidFallsBack(t *testing.T) {
+	p := transportLP(10, 10, 12)
+	want := p.Solve()
+	for name, basis := range map[string][]int{
+		"wrong length": {0},
+		"out of range": {0, 1, 99, 3},
+		"duplicates":   {0, 0, 0, 0},
+		"all slacks":   {2, 3, 4, 5},
+	} {
+		got := p.SolveWithOptions(Options{CrashBasis: basis})
+		if got.Status != Optimal || !near(got.Objective, want.Objective, 1e-9) {
+			t.Errorf("%s: status %v obj %v, want optimal %v", name, got.Status, got.Objective, want.Objective)
+		}
+	}
+}
+
+func TestCrashBasisPropertyRandom(t *testing.T) {
+	// Solve a random LP, then re-solve a perturbed instance of the same
+	// structure both cold and crashed from the first optimum. The crashed
+	// answer must agree with the cold one bit-for-status and near-exactly in
+	// objective whenever both are optimal.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 2 + rng.Intn(4)
+		nc := 2 + rng.Intn(4)
+		build := func(delta float64) *Problem {
+			r := rand.New(rand.NewSource(seed)) // identical structure per seed
+			p := NewProblem()
+			for v := 0; v < nv; v++ {
+				p.AddVar("v", 1+r.Float64()*5)
+			}
+			for k := 0; k < nc; k++ {
+				terms := make([]Term, nv)
+				for v := 0; v < nv; v++ {
+					terms[v] = Term{Var: v, Coef: r.Float64() * 4}
+				}
+				rel := LE
+				if k%3 == 1 {
+					rel = GE
+				}
+				rhs := 1 + r.Float64()*10
+				if rel == GE {
+					rhs = r.Float64() // keep GE rows satisfiable
+				}
+				p.AddConstraint(terms, rel, rhs+delta)
+			}
+			return p
+		}
+		base := build(0)
+		w, root := base.SolveForWarmStart(Options{})
+		if root.Status != Optimal {
+			return true // nothing to warm-start from
+		}
+		next := build(0.1 + rng.Float64())
+		cold := next.Solve()
+		warm := next.SolveWithOptions(Options{CrashBasis: w.Basis()})
+		if cold.Status != warm.Status {
+			return false
+		}
+		if cold.Status != Optimal {
+			return true
+		}
+		if len(next.CheckFeasible(warm.X, 1e-7)) != 0 {
+			return false
+		}
+		return near(cold.Objective, warm.Objective, 1e-7*(1+absf(cold.Objective)))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -20,6 +20,13 @@ type Options struct {
 	// MaxPivots caps the total number of pivots across both phases.
 	// 0 means 200·(rows+columns)+5000, far above what these problems need.
 	MaxPivots int
+	// CrashBasis, when non-empty, is a basis (tableau column per row, as
+	// returned by WarmStart.Basis from a structurally identical problem) to
+	// crash into the fresh tableau before optimizing, skipping phase 1. A
+	// basis that does not fit this problem's shape, violates its constraints,
+	// or cannot be repaired cheaply is discarded and the solve proceeds cold,
+	// so the answer is always as reliable as a cold Solve.
+	CrashBasis []int
 }
 
 // SolveWithOptions is Solve with explicit options.
@@ -28,9 +35,90 @@ func (p *Problem) SolveWithOptions(opt Options) Solution {
 	return sol
 }
 
+// rowKind records how a constraint row was normalized into the tableau: its
+// effective relation after the rhs ≥ 0 sign flip, and whether it was flipped.
+type rowKind struct {
+	rel Rel
+	neg bool
+}
+
+// tabBuild is a freshly constructed (unsolved) tableau plus the bookkeeping
+// needed to run phases, extract duals, and undo the rhs normalization.
+type tabBuild struct {
+	t           *tableau
+	kinds       []rowKind
+	artStart    int // first artificial column
+	artificials int
+	auxCol      []int     // per row: column whose final tableau column is B⁻¹e_k
+	costs       []float64 // minimization-sense structural costs, len NumVars
+}
+
 // solveTableau is the two-phase solve, additionally returning the final
 // tableau and the first artificial column for warm restarts.
 func (p *Problem) solveTableau(opt Options) (Solution, *tableau, int) {
+	if len(opt.CrashBasis) > 0 {
+		if sol, t, artStart, ok := p.solveFromBasis(opt); ok {
+			return sol, t, artStart
+		}
+		// The supplied basis did not fit or could not be repaired; solve cold.
+	}
+	tb := p.buildTableau()
+	t, artStart := tb.t, tb.artStart
+	m := t.m
+	total := t.n
+	isArt := func(j int) bool { return j >= artStart }
+
+	maxPivots := opt.MaxPivots
+	if maxPivots == 0 {
+		maxPivots = 200*(m+total) + 5000
+	}
+	pivots := 0
+
+	if tb.artificials > 0 {
+		// Phase 1: minimize the sum of artificial variables.
+		phase1 := make([]float64, total)
+		for j := artStart; j < total; j++ {
+			phase1[j] = 1
+		}
+		st := t.optimize(phase1, nil, maxPivots, &pivots)
+		if st == IterLimit {
+			return Solution{Status: IterLimit, Pivots: pivots}, nil, 0
+		}
+		if t.objective(phase1) > 1e-7 {
+			return Solution{Status: Infeasible, Pivots: pivots}, nil, 0
+		}
+		// Drive any basic artificials (at value 0) out of the basis where a
+		// structural pivot exists; otherwise they stay at zero and are barred
+		// from re-entering in phase 2.
+		for i := 0; i < m; i++ {
+			if !isArt(t.basis[i]) {
+				continue
+			}
+			for j := 0; j < artStart; j++ {
+				if math.Abs(t.a[i][j]) > 1e-7 {
+					t.pivot(i, j)
+					pivots++
+					break
+				}
+			}
+		}
+	}
+
+	// Phase 2: minimize the real objective with artificials barred.
+	fullCosts := make([]float64, total)
+	copy(fullCosts, tb.costs)
+	st := t.optimize(fullCosts, isArt, maxPivots, &pivots)
+	switch st {
+	case IterLimit, Unbounded:
+		return Solution{Status: st, Pivots: pivots}, nil, 0
+	}
+	return p.extractSolution(tb, fullCosts, pivots), t, artStart
+}
+
+// buildTableau constructs the initial canonical tableau: one slack per LE,
+// one surplus + one artificial per GE, one artificial per EQ, with every row
+// normalized to rhs ≥ 0 first.
+func (p *Problem) buildTableau() tabBuild {
 	n := len(p.obj)
 	m := len(p.constraints)
 
@@ -43,12 +131,6 @@ func (p *Problem) solveTableau(opt Options) (Solution, *tableau, int) {
 		}
 	}
 
-	// Count auxiliary columns: one slack per LE, one surplus + one artificial
-	// per GE, one artificial per EQ. Rows are first normalized to rhs ≥ 0.
-	type rowKind struct {
-		rel Rel
-		neg bool
-	}
 	kinds := make([]rowKind, m)
 	slacks, artificials := 0, 0
 	for k, c := range p.constraints {
@@ -82,8 +164,6 @@ func (p *Problem) solveTableau(opt Options) (Solution, *tableau, int) {
 		basis: make([]int, m),
 	}
 	artStart := n + slacks
-	isArt := func(j int) bool { return j >= artStart }
-
 	slackCol := n
 	artCol := artStart
 	// auxCol[k] is a column whose initial coefficient pattern is +e_k: its
@@ -122,55 +202,19 @@ func (p *Problem) solveTableau(opt Options) (Solution, *tableau, int) {
 		t.a[k] = row
 	}
 
-	maxPivots := opt.MaxPivots
-	if maxPivots == 0 {
-		maxPivots = 200*(m+total) + 5000
-	}
-	pivots := 0
+	return tabBuild{t: t, kinds: kinds, artStart: artStart, artificials: artificials, auxCol: auxCol, costs: costs}
+}
 
-	if artificials > 0 {
-		// Phase 1: minimize the sum of artificial variables.
-		phase1 := make([]float64, total)
-		for j := artStart; j < total; j++ {
-			phase1[j] = 1
-		}
-		st := t.optimize(phase1, nil, maxPivots, &pivots)
-		if st == IterLimit {
-			return Solution{Status: IterLimit, Pivots: pivots}, nil, 0
-		}
-		if t.objective(phase1) > 1e-7 {
-			return Solution{Status: Infeasible, Pivots: pivots}, nil, 0
-		}
-		// Drive any basic artificials (at value 0) out of the basis where a
-		// structural pivot exists; otherwise they stay at zero and are barred
-		// from re-entering in phase 2.
-		for i := 0; i < m; i++ {
-			if !isArt(t.basis[i]) {
-				continue
-			}
-			for j := 0; j < artStart; j++ {
-				if math.Abs(t.a[i][j]) > 1e-7 {
-					t.pivot(i, j)
-					pivots++
-					break
-				}
-			}
-		}
-	}
-
-	// Phase 2: minimize the real objective with artificials barred.
-	fullCosts := make([]float64, total)
-	copy(fullCosts, costs)
-	st := t.optimize(fullCosts, isArt, maxPivots, &pivots)
-	switch st {
-	case IterLimit, Unbounded:
-		return Solution{Status: st, Pivots: pivots}, nil, 0
-	}
-
+// extractSolution reads the optimal point and row duals out of a solved
+// tableau. fullCosts is the minimization-sense cost vector padded to the full
+// column count (artificials at 0).
+func (p *Problem) extractSolution(tb tabBuild, fullCosts []float64, pivots int) Solution {
+	n := len(p.obj)
+	t := tb.t
 	x := make([]float64, n)
 	for i, b := range t.basis {
 		if b < n {
-			x[b] = t.a[i][total]
+			x[b] = t.a[i][t.n]
 		}
 	}
 	obj := 0.0
@@ -181,16 +225,16 @@ func (p *Problem) solveTableau(opt Options) (Solution, *tableau, int) {
 	// Row duals: y_k = c_B · B⁻¹e_k, undoing the rhs-sign normalization and
 	// the minimization flip so the value is d(objective)/d(rhs_k) in the
 	// problem's own direction.
-	duals := make([]float64, m)
-	for k := 0; k < m; k++ {
+	duals := make([]float64, t.m)
+	for k := 0; k < t.m; k++ {
 		y := 0.0
-		col := auxCol[k]
+		col := tb.auxCol[k]
 		for i, b := range t.basis {
 			if cb := fullCosts[b]; cb != 0 {
 				y += cb * t.a[i][col]
 			}
 		}
-		if kinds[k].neg {
+		if tb.kinds[k].neg {
 			y = -y
 		}
 		if p.maximize {
@@ -198,7 +242,95 @@ func (p *Problem) solveTableau(opt Options) (Solution, *tableau, int) {
 		}
 		duals[k] = y
 	}
-	return Solution{Status: Optimal, X: x, Objective: obj, Pivots: pivots, Duals: duals}, t, artStart
+	return Solution{Status: Optimal, X: x, Objective: obj, Pivots: pivots, Duals: duals}
+}
+
+// solveFromBasis attempts to solve the problem starting from a caller-supplied
+// basis instead of running phase 1. The basis is crashed into a fresh tableau
+// row by row; the point it induces is then repaired to optimality by the
+// primal simplex (when already feasible) or the dual simplex followed by a
+// primal polish (when only dual-feasible). Any screen failure — wrong shape,
+// a basic artificial carrying value, a tiny crash pivot, dual infeasibility,
+// or a pivot-cap hit — reports ok == false so the caller falls back to the
+// cold two-phase path. Correctness never depends on the supplied basis: it
+// only decides where the simplex starts.
+func (p *Problem) solveFromBasis(opt Options) (Solution, *tableau, int, bool) {
+	tb := p.buildTableau()
+	t := tb.t
+	if len(opt.CrashBasis) != t.m {
+		return Solution{}, nil, 0, false
+	}
+	for _, b := range opt.CrashBasis {
+		if b < 0 || b >= t.n {
+			return Solution{}, nil, 0, false
+		}
+	}
+	isArt := func(j int) bool { return j >= tb.artStart }
+	maxPivots := opt.MaxPivots
+	if maxPivots == 0 {
+		maxPivots = 200*(t.m+t.n) + 5000
+	}
+	pivots := 0
+
+	// Crash: drive each target column into its row. A target whose pivot
+	// element has gone tiny keeps the row's original slack/artificial — the
+	// repair phases below deal with the partial basis.
+	for i, col := range opt.CrashBasis {
+		if t.basis[i] == col || t.isBasic(col) {
+			continue
+		}
+		if math.Abs(t.a[i][col]) <= 1e-7 {
+			continue
+		}
+		t.pivot(i, col)
+		pivots++
+	}
+	// A basic artificial carrying nonzero value means the crashed point
+	// violates its constraint row; phase 1 would be needed, so bail out.
+	for i, b := range t.basis {
+		if isArt(b) && math.Abs(t.a[i][t.n]) > 1e-7 {
+			return Solution{}, nil, 0, false
+		}
+	}
+
+	fullCosts := make([]float64, t.n)
+	copy(fullCosts, tb.costs)
+	primalFeasible := true
+	for i := 0; i < t.m; i++ {
+		if t.a[i][t.n] < -1e-7 {
+			primalFeasible = false
+			break
+		}
+	}
+	if primalFeasible {
+		for i := 0; i < t.m; i++ {
+			if t.a[i][t.n] < 0 {
+				t.a[i][t.n] = 0
+			}
+		}
+		if st := t.optimize(fullCosts, isArt, maxPivots, &pivots); st != Optimal {
+			return Solution{}, nil, 0, false
+		}
+	} else {
+		// Dual simplex requires dual feasibility; verify before it clamps
+		// negative reduced costs away.
+		z := t.reducedCosts(fullCosts)
+		for j := 0; j < t.n; j++ {
+			if isArt(j) || t.isBasic(j) {
+				continue
+			}
+			if z[j] < -1e-7 {
+				return Solution{}, nil, 0, false
+			}
+		}
+		if st := t.dualSimplex(fullCosts, isArt, maxPivots, &pivots); st != Optimal {
+			return Solution{}, nil, 0, false
+		}
+		if ps := t.optimize(fullCosts, isArt, maxPivots, &pivots); ps != Optimal {
+			return Solution{}, nil, 0, false
+		}
+	}
+	return p.extractSolution(tb, fullCosts, pivots), t, tb.artStart, true
 }
 
 // tableau is a dense simplex tableau in canonical form: basis columns are

@@ -47,6 +47,14 @@ func (p *Problem) SolveForWarmStart(opt Options) (*WarmStart, Solution) {
 // Root returns the base problem's optimal solution.
 func (w *WarmStart) Root() Solution { return w.root }
 
+// Basis returns a copy of the optimal basis of the base problem: one tableau
+// column index per constraint row. The column layout (structural variables,
+// then slacks/surpluses in row order, then artificials in row order) is
+// determined entirely by the problem's constraint relations, so the basis can
+// seed Options.CrashBasis on a later problem with the same structure — the
+// cross-problem analogue of ReSolve's same-problem warm start.
+func (w *WarmStart) Basis() []int { return append([]int(nil), w.base.basis...) }
+
 // Clone returns an independent copy of the warm-start state: the optimal base
 // tableau, basis and cost vector are deep-copied so that concurrent
 // branch-and-bound workers can each re-solve from a private root basis

@@ -1,6 +1,7 @@
 package milp
 
 import (
+	"fmt"
 	"math"
 
 	"billcap/internal/lp"
@@ -58,6 +59,57 @@ func NewHardKnapsack(n int, seed uint64) KnapsackInstance {
 		p.AddConstraint(terms, lp.LE, rhs[r])
 	}
 	return KnapsackInstance{Problem: p, Weights: weights, Capacity: rhs}
+}
+
+// NewPaperHour builds the hourly MILP shape of the capper's step 2 for N
+// sites and the given fleet budget: 5 price segments per site, one selection
+// binary per segment, the exact p = Σ p_k piecewise encoding, a per-site
+// spend cap and a shared fleet budget row. The objective maximizes throughput
+// with a small cost tie-break. The per-site cap admits a full segment 3 but
+// not the top segment's minimum spend, so the LP relaxation buys fractional
+// z4 capacity with the cap's slack while presolve can prove z4 = 0 at every
+// site — fixing it genuinely tightens the root bound. Demands carry a linear
+// per-site term so equal-bound plateaus don't blow up the search tree. The
+// construction is a pure function of (sites, budget), so cold-vs-warm
+// comparisons across runs and machines see identical instances.
+func NewPaperHour(sites int, budget float64) *Problem {
+	const segs = 5
+	m := NewProblem()
+	m.SetMaximize(true)
+	var budgetTerms []lp.Term
+	for i := 0; i < sites; i++ {
+		d := 40 + 10*float64(i%3) + 1.5*float64(i)
+		p := m.AddVar(fmt.Sprintf("s%d.p", i), 0)
+		link := []lp.Term{{Var: p, Coef: 1}}
+		var sel, siteTerms []lp.Term
+		for k := 0; k < segs; k++ {
+			lo := math.Max(1, float64(100*k)-d)
+			hi := float64(100*(k+1)) - d
+			rate := 30 + 15*float64(k)
+			// max Σ p − ε·cost, the throughput objective with a cost tie-break.
+			pk := m.AddVar(fmt.Sprintf("s%d.p%d", i, k), 1-1e-4*rate)
+			zk := m.AddBinVar(fmt.Sprintf("s%d.z%d", i, k), 0)
+			m.AddConstraint([]lp.Term{{Var: pk, Coef: 1}, {Var: zk, Coef: -hi}}, lp.LE, 0)
+			m.AddConstraint([]lp.Term{{Var: pk, Coef: 1}, {Var: zk, Coef: -lo}}, lp.GE, 0)
+			link = append(link, lp.Term{Var: pk, Coef: -1})
+			sel = append(sel, lp.Term{Var: zk, Coef: 1})
+			siteTerms = append(siteTerms, lp.Term{Var: pk, Coef: rate})
+		}
+		m.AddConstraint(link, lp.EQ, 0)
+		m.AddConstraint(sel, lp.EQ, 1) // every site runs in exactly one segment
+		m.AddConstraint(siteTerms, lp.LE, 27500)
+		budgetTerms = append(budgetTerms, siteTerms...)
+	}
+	m.AddConstraint(budgetTerms, lp.LE, budget)
+	return m
+}
+
+// PaperHourBudget is the standard hour-over-hour fleet budget for
+// NewPaperHour: binding at hour 0 and loosening every hour (the paper §III
+// carry-forward pool grows through cheap hours), so each hour's optimum stays
+// feasible — and a strong incumbent — for the next.
+func PaperHourBudget(sites, hour int) float64 {
+	return float64(sites) * (25000 + 150*float64(hour))
 }
 
 // CheckSolution reports whether x is a valid answer for the instance:

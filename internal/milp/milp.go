@@ -49,6 +49,16 @@ func (p *Problem) AddBinVar(name string, objCoef float64) int {
 	return v
 }
 
+// Clone returns a deep copy of the MILP, so the copy can be patched (e.g.
+// per-hour coefficients on a cached model skeleton) or gain extra rows
+// without disturbing the original.
+func (p *Problem) Clone() *Problem {
+	return &Problem{
+		Problem: p.Problem.Clone(),
+		integer: append([]bool(nil), p.integer...),
+	}
+}
+
 // SetInteger marks or unmarks integrality of an existing variable.
 func (p *Problem) SetInteger(v int, isInt bool) { p.integer[v] = isInt }
 
@@ -106,6 +116,18 @@ type Solution struct {
 	Elapsed    time.Duration // wall time of the solve
 	Gap        float64       // |bound − incumbent| remaining at stop (0 when Optimal)
 	Workers    int           // branch-and-bound workers that ran the search
+	// PresolveFixed counts integer variables fixed by Options.Presolve before
+	// the search started (0 when presolve was off or fixed nothing).
+	PresolveFixed int
+	// WarmStarted reports that Options.StartX passed its feasibility screen
+	// and seeded the search as the starting incumbent.
+	WarmStarted bool
+	// RootBasis is the optimal simplex basis of the base LP relaxation (nil
+	// when the root did not solve to optimality). Feeding it back as
+	// Options.StartBasis on a structurally identical problem — the next hour
+	// of a diurnal sequence — lets the LP crash straight to a near-optimal
+	// basis instead of running phase 1.
+	RootBasis []int
 }
 
 // Options tune the search. The zero value uses defaults suitable for the
@@ -145,6 +167,24 @@ type Options struct {
 	// LP solver's default. A root that exhausts the cap stops the search with
 	// Status Limit, no incumbent and Gap +Inf.
 	MaxLPPivots int
+	// Presolve runs bound-propagation presolve before the search, fixing
+	// integer variables whose value is forced by the constraints (see
+	// Problem.Presolve). The fixings are exact — every integer-feasible point
+	// satisfies them — so the reported optimum is unchanged; only the tree
+	// shrinks. Solution.PresolveFixed reports how many variables were fixed.
+	Presolve bool
+	// StartX, when non-nil, proposes a starting incumbent — typically the
+	// previous hour's optimum re-checked against this hour's constraints. It
+	// is used only if it has the right length, its integer entries are
+	// integral within IntTol, every entry is finite, and the snapped point
+	// satisfies every constraint; otherwise it is silently ignored, so a
+	// stale or infeasible seed can never corrupt the solve. An accepted seed
+	// gives the search an immediate primal bound (Solution.WarmStarted).
+	StartX []float64
+	// StartBasis, when non-nil, is forwarded to the root LP solve as
+	// lp.Options.CrashBasis — usually Solution.RootBasis of the previous
+	// hour's solve. An unusable basis falls back to the cold two-phase solve.
+	StartBasis []int
 }
 
 // effectiveWorkers resolves the worker count: Deterministic pins the
@@ -221,23 +261,131 @@ func (p *Problem) Solve() Solution { return p.SolveWithOptions(Options{}) }
 
 // SolveWithOptions is Solve with explicit options: the sequential best-first
 // search for Workers ≤ 1 (or Deterministic), the shared-frontier worker pool
-// otherwise.
+// otherwise. Both searches start from the same shared root stage: one base LP
+// solve (optionally crashed from StartBasis), optional presolve fixings
+// applied as permanent root bounds, and an optional StartX incumbent.
 func (p *Problem) SolveWithOptions(opt Options) Solution {
 	start := time.Now()
 	opt = opt.withDefaults()
-	var sol Solution
-	if w := opt.effectiveWorkers(); w > 1 && p.NumIntegerVars() > 0 {
-		sol = p.solveParallel(opt, start, w)
-		sol.Workers = w
-	} else {
-		sol = p.solveWithOptions(opt, start)
-		sol.Workers = 1
-	}
+	sol := p.solveFromRoot(opt, start)
 	sol.Elapsed = time.Since(start)
 	return sol
 }
 
-func (p *Problem) solveWithOptions(opt Options, start time.Time) Solution {
+// rootState is everything the sequential and parallel searches inherit from
+// the shared root stage.
+type rootState struct {
+	warm       *lp.WarmStart
+	root       lp.Solution // relaxation at the root, fixings applied
+	fix        []branch    // permanent bounds from presolve (every node inherits them)
+	seed       []float64   // accepted starting incumbent, nil when none
+	seedObj    float64     // seed objective, minimization sense (+Inf when none)
+	fixed      int         // integer variables fixed by presolve
+	rootBasis  []int       // optimal basis of the base LP, for the next hour
+	nodes, piv int
+}
+
+func (p *Problem) solveFromRoot(opt Options, start time.Time) Solution {
+	sign := 1.0
+	if p.Maximizing() {
+		sign = -1 // internal bounds are kept in minimization sense
+	}
+	rs := rootState{seedObj: math.Inf(1)}
+
+	if opt.Presolve {
+		pr := p.Presolve()
+		if pr.Infeasible {
+			return Solution{Status: Infeasible, Nodes: 1, PresolveFixed: pr.Fixed, Workers: 1}
+		}
+		rs.fix = pr.fixings()
+		rs.fixed = pr.Fixed
+	}
+
+	// Solve the root once and keep its optimal basis; every node's relaxation
+	// (root + branch bound rows) is then re-solved by the warm-started dual
+	// simplex — the same strategy lp_solve's branch-and-bound uses.
+	warm, root := p.Problem.SolveForWarmStart(lp.Options{MaxPivots: opt.MaxLPPivots, CrashBasis: opt.StartBasis})
+	rs.nodes, rs.piv = 1, root.Pivots
+	switch root.Status {
+	case lp.Unbounded:
+		return Solution{Status: Unbounded, Nodes: rs.nodes, Pivots: rs.piv, PresolveFixed: rs.fixed, Workers: 1}
+	case lp.Infeasible:
+		return Solution{Status: Infeasible, Nodes: rs.nodes, Pivots: rs.piv, PresolveFixed: rs.fixed, Workers: 1}
+	case lp.IterLimit:
+		// Through finish, so Gap reads +Inf: there is no incumbent, and the
+		// zero-value Gap of a bare Solution would tell callers "proven
+		// optimal" when nothing was proven at all.
+		s := p.finish(Limit, nil, math.Inf(1), sign, rs.nodes, rs.piv, nil)
+		s.PresolveFixed = rs.fixed
+		s.Workers = 1
+		return s
+	}
+	rs.warm, rs.root = warm, root
+	rs.rootBasis = warm.Basis()
+
+	if len(rs.fix) > 0 {
+		fs := warm.ReSolve(branchRows(rs.fix))
+		rs.nodes++
+		rs.piv += fs.Pivots
+		switch fs.Status {
+		case lp.Optimal:
+			rs.root = fs
+		case lp.Infeasible:
+			// The fixings hold at every integer-feasible point, so an
+			// LP-infeasible fixed system means the MILP is infeasible.
+			return Solution{Status: Infeasible, Nodes: rs.nodes, Pivots: rs.piv,
+				PresolveFixed: rs.fixed, RootBasis: rs.rootBasis, Workers: 1}
+		default:
+			// Numerical trouble under the fixing rows: search from the plain
+			// root instead — correctness over speed.
+			rs.fix = nil
+		}
+	}
+
+	if opt.StartX != nil {
+		if x, obj, ok := p.acceptStart(opt.StartX, opt.IntTol); ok {
+			rs.seed, rs.seedObj = x, sign*obj
+		}
+	}
+
+	var sol Solution
+	if w := opt.effectiveWorkers(); w > 1 && p.NumIntegerVars() > 0 {
+		sol = p.solveParallel(opt, start, w, rs)
+		sol.Workers = w
+	} else {
+		sol = p.solveSequential(opt, start, rs)
+		sol.Workers = 1
+	}
+	sol.PresolveFixed = rs.fixed
+	sol.WarmStarted = rs.seed != nil
+	sol.RootBasis = rs.rootBasis
+	return sol
+}
+
+// acceptStart screens a proposed starting incumbent: right length, finite,
+// integral within tol on the integer variables, and feasible after snapping
+// those to exact integers. Returns the snapped point and its objective in the
+// problem's own direction.
+func (p *Problem) acceptStart(x0 []float64, tol float64) ([]float64, float64, bool) {
+	if len(x0) != p.NumVars() {
+		return nil, 0, false
+	}
+	for v, xv := range x0 {
+		if math.IsNaN(xv) || math.IsInf(xv, 0) {
+			return nil, 0, false
+		}
+		if p.integer[v] && math.Abs(xv-math.Round(xv)) > tol {
+			return nil, 0, false
+		}
+	}
+	x := roundIntegral(x0, p.integer)
+	if len(p.Problem.CheckFeasible(x, 1e-6)) != 0 {
+		return nil, 0, false
+	}
+	return x, p.Problem.Eval(x), true
+}
+
+func (p *Problem) solveSequential(opt Options, start time.Time, rs rootState) Solution {
 	var deadline time.Time
 	if opt.Deadline > 0 {
 		deadline = start.Add(opt.Deadline)
@@ -245,39 +393,19 @@ func (p *Problem) solveWithOptions(opt Options, start time.Time) Solution {
 
 	sign := 1.0
 	if p.Maximizing() {
-		sign = -1 // internal bounds are kept in minimization sense
+		sign = -1
 	}
 
 	var (
-		incumbent    []float64
-		incumbentObj = math.Inf(1) // minimization sense
-		incumbents   int           // incumbent improvements (exposed for observability)
-		nodes, piv   int
+		incumbent    = rs.seed
+		incumbentObj = rs.seedObj // minimization sense
+		incumbents   int          // incumbent improvements (exposed for observability)
+		nodes, piv   = rs.nodes, rs.piv
 		h            nodeHeap
 	)
-
-	// Solve the root once and keep its optimal basis; every node's
-	// relaxation (root + branch bound rows) is then re-solved by the
-	// warm-started dual simplex — the same strategy lp_solve's
-	// branch-and-bound uses.
-	warm, root := p.Problem.SolveForWarmStart(lp.Options{MaxPivots: opt.MaxLPPivots})
+	warm, root := rs.warm, rs.root
 	relax := func(bs []branch) lp.Solution {
 		return warm.ReSolve(branchRows(bs))
-	}
-	piv += root.Pivots
-	nodes++
-	switch root.Status {
-	case lp.Unbounded:
-		return Solution{Status: Unbounded, Nodes: nodes, Pivots: piv}
-	case lp.Infeasible:
-		return Solution{Status: Infeasible, Nodes: nodes, Pivots: piv}
-	case lp.IterLimit:
-		// Through finish, so Gap reads +Inf: there is no incumbent, and the
-		// zero-value Gap of a bare Solution would tell callers "proven
-		// optimal" when nothing was proven at all.
-		s := p.finish(Limit, nil, math.Inf(1), sign, nodes, piv, nil)
-		s.Incumbents = incumbents
-		return s
 	}
 
 	process := func(bs []branch, sol lp.Solution) {
@@ -295,7 +423,7 @@ func (p *Problem) solveWithOptions(opt Options, start time.Time) Solution {
 		}
 		heap.Push(&h, &node{bound: bound, bounds: bs, sol: sol})
 	}
-	process(nil, root)
+	process(rs.fix, root)
 
 	for h.Len() > 0 {
 		if nodes >= opt.MaxNodes {

@@ -159,7 +159,9 @@ func (s *parSearch) expand(it *node, relax func([]branch) lp.Solution) {
 // same pruning rule as the sequential solver against a shared incumbent —
 // but node ordering depends on scheduling, so Nodes/Pivots may differ
 // between runs (use Options.Deterministic to pin the sequential ordering).
-func (p *Problem) solveParallel(opt Options, start time.Time, workers int) Solution {
+// The root relaxation, presolve fixings, and optional seed incumbent arrive
+// pre-computed in rs (the shared root stage in solveFromRoot).
+func (p *Problem) solveParallel(opt Options, start time.Time, workers int, rs rootState) Solution {
 	var deadline time.Time
 	if opt.Deadline > 0 {
 		deadline = start.Add(opt.Deadline)
@@ -170,26 +172,19 @@ func (p *Problem) solveParallel(opt Options, start time.Time, workers int) Solut
 		sign = -1
 	}
 
-	warm, root := p.Problem.SolveForWarmStart(lp.Options{MaxPivots: opt.MaxLPPivots})
+	warm, root := rs.warm, rs.root
 	s := &parSearch{
 		p:            p,
 		opt:          opt,
 		sign:         sign,
 		deadline:     deadline,
-		incumbentObj: math.Inf(1),
-		nodes:        1,
-		piv:          root.Pivots,
+		incumbent:    rs.seed,
+		incumbentObj: rs.seedObj,
+		nodes:        rs.nodes,
+		piv:          rs.piv,
 	}
 	s.cond = sync.NewCond(&s.mu)
-	switch root.Status {
-	case lp.Unbounded:
-		return Solution{Status: Unbounded, Nodes: s.nodes, Pivots: s.piv}
-	case lp.Infeasible:
-		return Solution{Status: Infeasible, Nodes: s.nodes, Pivots: s.piv}
-	case lp.IterLimit:
-		return p.finish(Limit, nil, math.Inf(1), sign, s.nodes, s.piv, nil)
-	}
-	s.offer(nil, root, p.mostFractional(root.X, opt.IntTol))
+	s.offer(rs.fix, root, p.mostFractional(root.X, opt.IntTol))
 
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {

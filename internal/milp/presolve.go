@@ -1,0 +1,180 @@
+package milp
+
+import (
+	"math"
+
+	"billcap/internal/lp"
+)
+
+// PresolveResult is the outcome of Problem.Presolve.
+type PresolveResult struct {
+	// Fixed counts integer variables whose value is implied by the constraint
+	// system alone, i.e. holds at every integer-feasible point.
+	Fixed int
+	// Infeasible reports that bound propagation proved no integer-feasible
+	// point exists (the LP relaxation may still be feasible).
+	Infeasible bool
+
+	fixed []fixedVar
+}
+
+type fixedVar struct {
+	v   int
+	val float64
+}
+
+// FixedValue returns the proven value of variable v, if presolve fixed it.
+func (r PresolveResult) FixedValue(v int) (float64, bool) {
+	for _, f := range r.fixed {
+		if f.v == v {
+			return f.val, true
+		}
+	}
+	return 0, false
+}
+
+// fixings converts the proven values into branch bounds to be applied
+// permanently at the root of the search: x ≤ val always, plus x ≥ val when
+// val > 0 (the variables' built-in x ≥ 0 covers val = 0).
+func (r PresolveResult) fixings() []branch {
+	var bs []branch
+	for _, f := range r.fixed {
+		bs = append(bs, branch{v: f.v, rel: lp.LE, value: f.val})
+		if f.val > 0 {
+			bs = append(bs, branch{v: f.v, rel: lp.GE, value: f.val})
+		}
+	}
+	return bs
+}
+
+// Presolve tightens variable bounds by iterative constraint-activity
+// propagation and derives the integer variables whose value is thereby
+// forced. In the capper's models this is what proves a price-segment binary
+// unreachable before the first simplex pivot: a budget row caps the segment
+// power below the segment's own lower bound, so its binary is fixed to 0 —
+// and when a site must run and a single segment survives, that segment's
+// binary is fixed to 1. The derived fixings are valid for every
+// integer-feasible point, so applying them never changes the optimum; they
+// only shrink the branch-and-bound tree. The problem itself is not modified.
+func (p *Problem) Presolve() PresolveResult {
+	const (
+		tol     = 1e-9 // minimum improvement worth recording
+		intEps  = 1e-6 // slack when rounding bounds to integers
+		feasTol = 1e-7 // violation proving infeasibility
+		maxPass = 20   // propagation almost always fixpoints in 2-3 passes
+	)
+	n := p.NumVars()
+	lo := make([]float64, n) // variables are nonnegative
+	hi := make([]float64, n)
+	for j := range hi {
+		hi[j] = math.Inf(1)
+	}
+
+	// View every row as one or two ≤ inequalities.
+	type ineq struct {
+		coef []float64
+		rhs  float64
+	}
+	negated := func(c []float64) []float64 {
+		out := make([]float64, len(c))
+		for j, a := range c {
+			out[j] = -a
+		}
+		return out
+	}
+	var rows []ineq
+	for k := 0; k < p.NumConstraints(); k++ {
+		c := p.Problem.Constraint(k)
+		switch c.Rel {
+		case lp.LE:
+			rows = append(rows, ineq{c.Coeffs, c.RHS})
+		case lp.GE:
+			rows = append(rows, ineq{negated(c.Coeffs), -c.RHS})
+		case lp.EQ:
+			rows = append(rows, ineq{c.Coeffs, c.RHS}, ineq{negated(c.Coeffs), -c.RHS})
+		}
+	}
+
+	var out PresolveResult
+	for pass, changed := 0, true; changed && pass < maxPass; pass++ {
+		changed = false
+		for _, r := range rows {
+			// Minimum activity Σ_{a>0} a·lo + Σ_{a<0} a·hi, tracking columns
+			// whose contribution is −∞ (a < 0 with an unbounded hi).
+			minAct := 0.0
+			infCount, infVar := 0, -1
+			for j, a := range r.coef {
+				switch {
+				case a > 0:
+					minAct += a * lo[j]
+				case a < 0:
+					if math.IsInf(hi[j], 1) {
+						infCount++
+						infVar = j
+					} else {
+						minAct += a * hi[j]
+					}
+				}
+			}
+			if infCount == 0 && minAct > r.rhs+feasTol {
+				out.Infeasible = true
+				return out
+			}
+			// Implied bound per column: a_j·x_j ≤ rhs − (minimum activity of
+			// the other columns). Only finite residuals yield bounds.
+			for j, a := range r.coef {
+				if a == 0 {
+					continue
+				}
+				if a > 0 {
+					if infCount > 0 {
+						continue // some other column contributes −∞
+					}
+					nb := (r.rhs - (minAct - a*lo[j])) / a
+					if p.integer[j] {
+						nb = math.Floor(nb + intEps)
+					}
+					if nb < hi[j]-tol {
+						hi[j] = nb
+						changed = true
+					}
+				} else {
+					if infCount > 1 || (infCount == 1 && infVar != j) {
+						continue
+					}
+					rest := minAct
+					if infCount == 0 {
+						rest -= a * hi[j] // exclude j's own contribution
+					}
+					nb := (r.rhs - rest) / a // negative divisor: x_j ≥ nb
+					if p.integer[j] {
+						nb = math.Ceil(nb - intEps)
+					}
+					if nb > lo[j]+tol {
+						lo[j] = nb
+						changed = true
+					}
+				}
+			}
+		}
+		for j := 0; j < n; j++ {
+			if lo[j] > hi[j]+feasTol {
+				out.Infeasible = true
+				return out
+			}
+		}
+	}
+
+	for j := 0; j < n; j++ {
+		if !p.integer[j] {
+			continue
+		}
+		l := math.Ceil(lo[j] - intEps)
+		h := math.Floor(hi[j] + intEps)
+		if l == h {
+			out.fixed = append(out.fixed, fixedVar{v: j, val: l})
+		}
+	}
+	out.Fixed = len(out.fixed)
+	return out
+}

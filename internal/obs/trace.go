@@ -58,6 +58,11 @@ type SolverTrace struct {
 	Timeouts   int     `json:"timeouts,omitempty"`
 	Workers    int     `json:"workers,omitempty"`
 	WallMS     float64 `json:"wallMS"`
+	// PresolveFixed counts integer variables fixed before branch-and-bound;
+	// WarmStarted counts solves seeded with the previous hour's optimum.
+	// Both stay 0 unless the solve cache is enabled.
+	PresolveFixed int `json:"presolveFixed,omitempty"`
+	WarmStarted   int `json:"warmStarted,omitempty"`
 }
 
 // BudgetTrace is the carry-forward ledger state after the hour was

@@ -40,6 +40,18 @@ func New(thresholds, rates []float64) (StepFunction, error) {
 		return StepFunction{}, fmt.Errorf("piecewise: %d rates for %d thresholds, want %d",
 			len(rates), len(thresholds), len(thresholds)+1)
 	}
+	// Check finiteness first: NaN slips through both the sortedness check
+	// (every comparison involving NaN is false) and `t <= 0` below.
+	for _, t := range thresholds {
+		if math.IsNaN(t) || math.IsInf(t, 0) {
+			return StepFunction{}, fmt.Errorf("piecewise: non-finite threshold %v", t)
+		}
+	}
+	for _, r := range rates {
+		if math.IsNaN(r) || math.IsInf(r, 0) {
+			return StepFunction{}, fmt.Errorf("piecewise: non-finite rate %v", r)
+		}
+	}
 	if !sort.Float64sAreSorted(thresholds) {
 		return StepFunction{}, errors.New("piecewise: thresholds not sorted")
 	}
@@ -162,6 +174,56 @@ func (f StepFunction) Scale(mult, aboveLoad float64) StepFunction {
 // would already bill the next step. Loads are in MW, so 1e-6 is one watt.
 const boundaryEps = 1e-6
 
+// SegPlan is one reachable segment of an encoding for a given hour: the
+// original segment index and the bounds [Lo, Hi] the segment-power variable
+// must respect when selected. PlanSegments derives the plan; Encode realizes
+// it as rows, and the cross-hour solve cache compares plans across hours to
+// decide whether a cached skeleton can be patched instead of rebuilt.
+type SegPlan struct {
+	// Seg is the original segment index in the step function.
+	Seg int
+	// Lo, Hi bound the encoded segment power (already demand-shifted and
+	// margin-shrunk): Lo = max(0, t_{k-1}−d), Hi = min(pMax, t_k−d−margins).
+	Lo, Hi float64
+	// Rate is the segment's price.
+	Rate float64
+}
+
+// PlanSegments computes the reachable-segment plan Encode would realize for
+// the price function f at background demand d with a power variable in
+// [0, pMax]. An empty reachable set is an error, exactly as in Encode.
+func PlanSegments(f StepFunction, d, pMax, upperMargin float64) ([]SegPlan, error) {
+	if d < 0 {
+		return nil, fmt.Errorf("piecewise: negative background demand %v", d)
+	}
+	if pMax <= 0 {
+		return nil, fmt.Errorf("piecewise: nonpositive pMax %v", pMax)
+	}
+	if upperMargin < 0 {
+		return nil, fmt.Errorf("piecewise: negative upper margin %v", upperMargin)
+	}
+	var out []SegPlan
+	for k := 0; k < f.NumSegments(); k++ {
+		lo, hi := f.SegmentBounds(k)
+		if hi <= d {
+			// The whole segment lies below the background demand alone; a
+			// nonnegative p can only move the regional load upward.
+			continue
+		}
+		segLo := math.Max(0, lo-d)
+		segHi := math.Min(pMax, hi-d-boundaryEps-upperMargin)
+		if segHi < segLo {
+			// Segment starts above d+pMax: out of reach.
+			continue
+		}
+		out = append(out, SegPlan{Seg: k, Lo: segLo, Hi: segHi, Rate: f.rates[k]})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("piecewise: no reachable segment for d=%v pMax=%v", d, pMax)
+	}
+	return out, nil
+}
+
 // Encoded is the set of MILP variables produced by Encode for one cost term
 // rate(p+d)·p.
 type Encoded struct {
@@ -176,6 +238,14 @@ type Encoded struct {
 	SegRate []float64
 	// Segments[j] is the original segment index of reachable segment j.
 	Segments []int
+	// SegLo, SegHi are the bounds realized for reachable segment j (the plan
+	// values; SegLo may be 0, in which case no lower row exists).
+	SegLo, SegHi []float64
+	// HiRow[j] is the constraint index of p_j ≤ hi_j·z_j; LoRow[j] that of
+	// p_j ≥ lo_j·z_j, or −1 when lo_j = 0 and the row was never added. They
+	// let a cached model skeleton be re-pointed at a new hour's bounds via
+	// Patch without rebuilding the problem.
+	HiRow, LoRow []int
 }
 
 // CostTerms returns the sparse terms Σ_j rate_j·segPower_j representing the
@@ -214,45 +284,32 @@ func (e Encoded) SelectorTerms() []lp.Term {
 // The cost rate(p+d)·p is then exactly Σ_j rate_j·p_j for any feasible
 // point with Σ z_j = 1, and 0 when all z_j = 0 (which forces p = 0).
 func Encode(m *milp.Problem, f StepFunction, d, pMax, upperMargin float64, name string) (Encoded, error) {
-	if d < 0 {
-		return Encoded{}, fmt.Errorf("piecewise: negative background demand %v", d)
-	}
-	if pMax <= 0 {
-		return Encoded{}, fmt.Errorf("piecewise: nonpositive pMax %v", pMax)
-	}
-	if upperMargin < 0 {
-		return Encoded{}, fmt.Errorf("piecewise: negative upper margin %v", upperMargin)
+	plan, err := PlanSegments(f, d, pMax, upperMargin)
+	if err != nil {
+		return Encoded{}, err
 	}
 	var e Encoded
 	e.Power = m.AddVar(name+".p", 0)
 
-	for k := 0; k < f.NumSegments(); k++ {
-		lo, hi := f.SegmentBounds(k)
-		if hi <= d {
-			// The whole segment lies below the background demand alone; a
-			// nonnegative p can only move the regional load upward.
-			continue
-		}
-		segLo := math.Max(0, lo-d)
-		segHi := math.Min(pMax, hi-d-boundaryEps-upperMargin)
-		if segHi < segLo {
-			// Segment starts above d+pMax: out of reach.
-			continue
-		}
-		pv := m.AddVar(fmt.Sprintf("%s.p%d", name, k), 0)
-		zv := m.AddBinVar(fmt.Sprintf("%s.z%d", name, k), 0)
+	for _, sp := range plan {
+		pv := m.AddVar(fmt.Sprintf("%s.p%d", name, sp.Seg), 0)
+		zv := m.AddBinVar(fmt.Sprintf("%s.z%d", name, sp.Seg), 0)
 		// p_k ≤ hi·z_k and p_k ≥ lo·z_k.
-		m.AddConstraint([]lp.Term{{Var: pv, Coef: 1}, {Var: zv, Coef: -segHi}}, lp.LE, 0)
-		if segLo > 0 {
-			m.AddConstraint([]lp.Term{{Var: pv, Coef: 1}, {Var: zv, Coef: -segLo}}, lp.GE, 0)
+		hiRow := m.NumConstraints()
+		m.AddConstraint([]lp.Term{{Var: pv, Coef: 1}, {Var: zv, Coef: -sp.Hi}}, lp.LE, 0)
+		loRow := -1
+		if sp.Lo > 0 {
+			loRow = m.NumConstraints()
+			m.AddConstraint([]lp.Term{{Var: pv, Coef: 1}, {Var: zv, Coef: -sp.Lo}}, lp.GE, 0)
 		}
 		e.SegPower = append(e.SegPower, pv)
 		e.SegBin = append(e.SegBin, zv)
-		e.SegRate = append(e.SegRate, f.rates[k])
-		e.Segments = append(e.Segments, k)
-	}
-	if len(e.SegPower) == 0 {
-		return Encoded{}, fmt.Errorf("piecewise: no reachable segment for d=%v pMax=%v", d, pMax)
+		e.SegRate = append(e.SegRate, sp.Rate)
+		e.Segments = append(e.Segments, sp.Seg)
+		e.SegLo = append(e.SegLo, sp.Lo)
+		e.SegHi = append(e.SegHi, sp.Hi)
+		e.HiRow = append(e.HiRow, hiRow)
+		e.LoRow = append(e.LoRow, loRow)
 	}
 
 	// p − Σ p_j = 0.
@@ -264,4 +321,43 @@ func Encode(m *milp.Problem, f StepFunction, d, pMax, upperMargin float64, name 
 	// At most one segment active; the caller pins the sum to its indicator.
 	m.AddConstraint(e.SelectorTerms(), lp.LE, 1)
 	return e, nil
+}
+
+// Clone deep-copies the encoding's slices, so a copy used with a cloned
+// model skeleton can be Patched without disturbing the cached original.
+func (e Encoded) Clone() Encoded {
+	e.SegPower = append([]int(nil), e.SegPower...)
+	e.SegBin = append([]int(nil), e.SegBin...)
+	e.SegRate = append([]float64(nil), e.SegRate...)
+	e.Segments = append([]int(nil), e.Segments...)
+	e.SegLo = append([]float64(nil), e.SegLo...)
+	e.SegHi = append([]float64(nil), e.SegHi...)
+	e.HiRow = append([]int(nil), e.HiRow...)
+	e.LoRow = append([]int(nil), e.LoRow...)
+	return e
+}
+
+// Patch re-points an encoding (cloned from a cached skeleton) at a new
+// hour's segment plan by rewriting the z-coefficients of the hi/lo rows in
+// place. It succeeds only when the plan has the same shape the encoding was
+// built with — same reachable segments and the same lo-row pattern — because
+// only then do rows exist for exactly the bounds that must change; any shape
+// drift returns false and the caller rebuilds from scratch.
+func (e *Encoded) Patch(m *milp.Problem, plan []SegPlan) bool {
+	if len(plan) != len(e.Segments) {
+		return false
+	}
+	for j, sp := range plan {
+		if sp.Seg != e.Segments[j] || (sp.Lo > 0) != (e.LoRow[j] >= 0) {
+			return false
+		}
+	}
+	for j, sp := range plan {
+		m.SetCoef(e.HiRow[j], e.SegBin[j], -sp.Hi)
+		if e.LoRow[j] >= 0 {
+			m.SetCoef(e.LoRow[j], e.SegBin[j], -sp.Lo)
+		}
+		e.SegLo[j], e.SegHi[j] = sp.Lo, sp.Hi
+	}
+	return true
 }

@@ -231,3 +231,29 @@ func TestEncodePropertyRandom(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestNewRejectsNonFinite(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name       string
+		thresholds []float64
+		rates      []float64
+	}{
+		{"NaN threshold", []float64{nan, 200}, []float64{1, 2, 3}},
+		{"NaN threshold alone", []float64{nan}, []float64{1, 2}},
+		{"+Inf threshold", []float64{100, inf}, []float64{1, 2, 3}},
+		{"-Inf threshold", []float64{-inf, 100}, []float64{1, 2, 3}},
+		{"NaN rate", []float64{100}, []float64{1, nan}},
+		{"+Inf rate", []float64{100}, []float64{inf, 2}},
+		{"-Inf rate", []float64{100}, []float64{1, -inf}},
+		{"NaN flat rate", nil, []float64{nan}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.thresholds, c.rates); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+	if _, err := New([]float64{100}, []float64{1, 2}); err != nil {
+		t.Errorf("finite function rejected: %v", err)
+	}
+}

@@ -382,6 +382,9 @@ func decisionTrace(cfg Config, h int, in core.HourInput, dec core.Decision, real
 			Timeouts:   dec.Solver.Timeouts,
 			Workers:    dec.Solver.Workers,
 			WallMS:     float64(dec.Solver.WallTime.Microseconds()) / 1e3,
+
+			PresolveFixed: dec.Solver.PresolveFixed,
+			WarmStarted:   dec.Solver.WarmStarted,
 		},
 	}
 	if dec.Degraded != core.DegradeNone {
