@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"time"
 
+	"billcap/internal/lp"
 	"billcap/internal/milp"
 )
 
@@ -59,13 +60,64 @@ type incrementalResult struct {
 	NodeReduction float64 `json:"nodeReduction"` // 1 − warmNodes/coldNodes
 }
 
+// coreResult is one LP core's run of the fixed-budget knapsack instance
+// (sequential workers, so node ordering — and thus the explored tree — is
+// identical across cores and the wall-clock ratio is a pure LP-core ratio).
+type coreResult struct {
+	Core             string  `json:"core"`
+	WallMS           float64 `json:"wallMS"`
+	Nodes            int     `json:"nodes"`
+	NodesPerSec      float64 `json:"nodesPerSec"`
+	LPIterations     int     `json:"lpIterations"`
+	Refactorizations int     `json:"lpRefactorizations"`
+	BasisUpdates     int     `json:"lpBasisUpdates"`
+	Status           string  `json:"status"`
+	Objective        float64 `json:"objective"`
+}
+
+// coreCompare pairs the dense tableau oracle against the sparse revised
+// simplex on the same instance and node budget.
+type coreCompare struct {
+	Sites         int        `json:"sites"`
+	Binaries      int        `json:"binaries"`
+	Dense         coreResult `json:"dense"`
+	Sparse        coreResult `json:"sparse"`
+	SparseSpeedup float64    `json:"sparseSpeedup"` // dense wall / sparse wall
+}
+
 type report struct {
 	Bench       string              `json:"bench"`
 	GoMaxProcs  int                 `json:"goMaxProcs"`
 	MaxNodes    int                 `json:"maxNodes"`
 	Reps        int                 `json:"reps"`
 	Instances   []instanceResult    `json:"instances"`
+	LPCores     []coreCompare       `json:"lpCores"`
 	Incremental []incrementalResult `json:"incremental"`
+}
+
+// runCore solves the instance best-of-reps on one LP core, sequentially.
+func runCore(sites, maxNodes, reps int, core lp.Core) coreResult {
+	k := milp.NewHardKnapsack(5*sites, 0)
+	best := coreResult{Core: core.String()}
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		s := k.SolveWithOptions(milp.Options{Workers: 1, MaxNodes: maxNodes, LPCore: core})
+		wall := time.Since(start)
+		if s.Status != milp.Optimal && s.Status != milp.Limit {
+			log.Fatalf("lpcore %v sites=%d: unexpected status %v", core, sites, s.Status)
+		}
+		if best.WallMS == 0 || wall.Seconds()*1e3 < best.WallMS {
+			best.WallMS = wall.Seconds() * 1e3
+			best.Nodes = s.Nodes
+			best.NodesPerSec = float64(s.Nodes) / wall.Seconds()
+			best.LPIterations = s.Pivots
+			best.Refactorizations = s.LPRefactorizations
+			best.BasisUpdates = s.LPBasisUpdates
+			best.Status = s.Status.String()
+			best.Objective = s.Objective
+		}
+	}
+	return best
 }
 
 // runIncremental re-solves an hour sequence of the milp.NewPaperHour family
@@ -114,6 +166,8 @@ func runIncremental(sites, hours, maxNodes int) incrementalResult {
 func main() {
 	out := flag.String("out", "BENCH_milp.json", "path to write the JSON report")
 	quick := flag.Bool("quick", false, "CI smoke mode: smaller node budget, one repetition")
+	gate := flag.Bool("gate", false,
+		"exit nonzero if the sparse core is slower (nodes/sec) than the dense oracle on the largest instance")
 	flag.Parse()
 
 	maxNodes, reps := 4000, 3
@@ -159,6 +213,20 @@ func main() {
 		rep.Instances = append(rep.Instances, inst)
 	}
 
+	gateOK := true
+	for _, sites := range []int{5, 10, 20} {
+		cc := coreCompare{Sites: sites, Binaries: 5 * sites}
+		cc.Dense = runCore(sites, maxNodes, reps, lp.CoreDense)
+		cc.Sparse = runCore(sites, maxNodes, reps, lp.CoreSparse)
+		cc.SparseSpeedup = cc.Dense.WallMS / cc.Sparse.WallMS
+		rep.LPCores = append(rep.LPCores, cc)
+		fmt.Printf("lpcore sites=%-3d dense=%8.1fms (%8.0f nodes/s)  sparse=%8.1fms (%8.0f nodes/s)  speedup=%.2f\n",
+			sites, cc.Dense.WallMS, cc.Dense.NodesPerSec, cc.Sparse.WallMS, cc.Sparse.NodesPerSec, cc.SparseSpeedup)
+		if sites == 20 && cc.Sparse.NodesPerSec < cc.Dense.NodesPerSec {
+			gateOK = false
+		}
+	}
+
 	hours := 12
 	if *quick {
 		hours = 6
@@ -179,4 +247,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s (GOMAXPROCS=%d)\n", *out, rep.GoMaxProcs)
+	if *gate && !gateOK {
+		log.Fatal("gate: sparse core slower than the dense oracle at N=20")
+	}
 }

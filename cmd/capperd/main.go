@@ -36,6 +36,7 @@ import (
 	"billcap/internal/api"
 	"billcap/internal/core"
 	"billcap/internal/dcmodel"
+	"billcap/internal/lp"
 	"billcap/internal/pricing"
 )
 
@@ -50,7 +51,14 @@ func main() {
 		"branch-and-bound workers per MILP solve, and the concurrency budget of /v1/decide/batch (0 = GOMAXPROCS)")
 	solverCache := flag.Bool("solver-cache", false,
 		"incremental hour-over-hour solving: MILP presolve plus a cross-hour warm-start cache (skeleton, basis, incumbent)")
+	lpcore := flag.String("lpcore", "",
+		"LP core behind every relaxation: sparse (revised simplex, the default) or dense (tableau oracle)")
 	flag.Parse()
+
+	core0, err := lp.ParseCore(*lpcore)
+	if err != nil {
+		log.Fatalf("capperd: %v", err)
+	}
 
 	if *variant < 0 || *variant > 3 {
 		log.Fatal("capperd: variant must be 0..3")
@@ -64,7 +72,12 @@ func main() {
 		dcs = dcmodel.SyntheticSites(*sites)
 		pols = pricing.Synthetic(*sites)
 	}
-	srv, err := api.New(dcs, pols, core.Options{SolveDeadline: *deadline, SolverWorkers: *workers, SolverCache: *solverCache})
+	srv, err := api.New(dcs, pols, core.Options{
+		SolveDeadline: *deadline,
+		SolverWorkers: *workers,
+		SolverCache:   *solverCache,
+		LPCore:        core0,
+	})
 	if err != nil {
 		log.Fatalf("capperd: %v", err)
 	}

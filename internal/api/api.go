@@ -323,6 +323,10 @@ type DecideResponse struct {
 	// runs with the solve cache enabled.
 	SolverPresolveFixed int `json:"solverPresolveFixed,omitempty"`
 	SolverWarmStarted   int `json:"solverWarmStarted,omitempty"`
+	// SolverLPRefactorizations / SolverLPBasisUpdates expose the sparse LP
+	// core's basis-factorization work (0 when the dense oracle ran).
+	SolverLPRefactorizations int `json:"solverLPRefactorizations,omitempty"`
+	SolverLPBasisUpdates     int `json:"solverLPBasisUpdates,omitempty"`
 }
 
 // hourInputFrom maps the wire request onto the controller's input; a
@@ -353,7 +357,7 @@ func (s *Server) decideResponseFrom(dec core.Decision) DecideResponse {
 		PredictedCostUSD: dec.PredictedCostUSD,
 		SolverNodes:      dec.Solver.Nodes,
 		SolverSolves:     dec.Solver.Solves,
-		SolverPivots:     dec.Solver.Pivots,
+		SolverPivots:     dec.Solver.LPIterations,
 		SolverIncumbents: dec.Solver.Incumbents,
 		SolverTimeouts:   dec.Solver.Timeouts,
 		SolverWorkers:    dec.Solver.Workers,
@@ -361,6 +365,9 @@ func (s *Server) decideResponseFrom(dec core.Decision) DecideResponse {
 
 		SolverPresolveFixed: dec.Solver.PresolveFixed,
 		SolverWarmStarted:   dec.Solver.WarmStarted,
+
+		SolverLPRefactorizations: dec.Solver.LPRefactorizations,
+		SolverLPBasisUpdates:     dec.Solver.LPBasisUpdates,
 	}
 	if dec.Degraded != core.DegradeNone {
 		resp.Degraded = dec.Degraded.String()

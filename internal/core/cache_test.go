@@ -196,8 +196,8 @@ func TestSolverCacheWeekMatchesCold(t *testing.T) {
 	// fixings (one bookkeeping "node" per fixed solve), so compare the work
 	// that actually costs time: simplex pivots. Incremental solving must not
 	// make the week materially more expensive than cold.
-	if float64(warmStats.Pivots) > 1.1*float64(coldStats.Pivots) {
+	if float64(warmStats.LPIterations) > 1.1*float64(coldStats.LPIterations) {
 		t.Errorf("warm week spent %d pivots, cold %d — incremental solving must not grow the search",
-			warmStats.Pivots, coldStats.Pivots)
+			warmStats.LPIterations, coldStats.LPIterations)
 	}
 }

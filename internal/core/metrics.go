@@ -32,6 +32,9 @@ type Metrics struct {
 	presolveFixed  *obs.Counter
 	warmstartHits  *obs.Counter
 
+	lpRefactorizations *obs.Counter
+	lpBasisUpdates     *obs.Counter
+
 	predictedCost *obs.Gauge
 	servedLambda  *obs.Gauge
 	budgetBinding *obs.Gauge
@@ -63,6 +66,10 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		milpSolves: reg.Counter("billcap_milp_solves_total", "MILP solves issued by the two-step algorithm."),
 		milpNodes:  reg.Counter("billcap_milp_nodes_total", "Branch-and-bound nodes explored."),
 		milpPivots: reg.Counter("billcap_milp_pivots_total", "Simplex pivots across all LP relaxations."),
+		lpRefactorizations: reg.Counter("billcap_lp_refactorizations_total",
+			"LU basis refactorizations performed by the sparse LP core."),
+		lpBasisUpdates: reg.Counter("billcap_lp_basis_updates_total",
+			"Eta-file basis updates performed by the sparse LP core between refactorizations."),
 		milpIncumbents: reg.Counter("billcap_milp_incumbents_total",
 			"Incumbent improvements found during branch-and-bound."),
 		milpSeconds: reg.Histogram("billcap_milp_seconds",
@@ -133,7 +140,9 @@ func (m *Metrics) observe(s *System, dec Decision, err error, elapsed time.Durat
 	m.solverTimeouts.Add(float64(dec.Solver.Timeouts))
 	m.milpSolves.Add(float64(dec.Solver.Solves))
 	m.milpNodes.Add(float64(dec.Solver.Nodes))
-	m.milpPivots.Add(float64(dec.Solver.Pivots))
+	m.milpPivots.Add(float64(dec.Solver.LPIterations))
+	m.lpRefactorizations.Add(float64(dec.Solver.LPRefactorizations))
+	m.lpBasisUpdates.Add(float64(dec.Solver.LPBasisUpdates))
 	m.milpIncumbents.Add(float64(dec.Solver.Incumbents))
 	m.milpSeconds.Observe(dec.Solver.WallTime.Seconds())
 	m.milpWorkers.Set(float64(dec.Solver.Workers))

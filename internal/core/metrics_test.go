@@ -74,6 +74,15 @@ func TestDecideHourMetrics(t *testing.T) {
 	if reg.Counter("billcap_milp_pivots_total", "").Value() <= 0 {
 		t.Error("no simplex pivots recorded")
 	}
+	// The sparse LP core (the default) reports its basis work; the counters
+	// must at least be exposed, and eta updates accrue on any nontrivial hour.
+	if !strings.Contains(out, "billcap_lp_refactorizations_total") ||
+		!strings.Contains(out, "billcap_lp_basis_updates_total") {
+		t.Error("LP factorization counters not exposed")
+	}
+	if reg.Counter("billcap_lp_basis_updates_total", "").Value() <= 0 {
+		t.Error("no LP basis updates recorded on the sparse core")
+	}
 	if reg.Histogram("billcap_decide_seconds", "", obs.DefBuckets).Count() != 3 {
 		t.Error("latency histogram did not see every call")
 	}

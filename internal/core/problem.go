@@ -21,10 +21,12 @@ var ErrInfeasible = errors.New("core: no feasible allocation")
 // SolverStats aggregates branch-and-bound effort across the MILP solves of
 // one decision.
 type SolverStats struct {
-	Solves     int
-	Nodes      int
-	Pivots     int
-	Incumbents int
+	Solves int
+	Nodes  int
+	// LPIterations counts simplex pivots across every LP relaxation solved
+	// for the decision (all cores).
+	LPIterations int
+	Incumbents   int
 	// Timeouts counts solves that hit their wall-clock deadline and
 	// answered with a best-effort incumbent instead of a proven optimum.
 	Timeouts int
@@ -39,15 +41,22 @@ type SolverStats struct {
 	// WarmStarted counts solves that accepted a previous hour's optimum as
 	// their starting incumbent.
 	WarmStarted int
+	// LPRefactorizations and LPBasisUpdates are the sparse LP core's basis
+	// work — LU rebuilds and eta-file updates — across the decision's
+	// relaxations. Both stay 0 when the dense oracle ran the solves.
+	LPRefactorizations int
+	LPBasisUpdates     int
 }
 
 func (st *SolverStats) add(sol milp.Solution) {
 	st.Solves++
 	st.Nodes += sol.Nodes
-	st.Pivots += sol.Pivots
+	st.LPIterations += sol.Pivots
 	st.Incumbents += sol.Incumbents
 	st.WallTime += sol.Elapsed
 	st.PresolveFixed += sol.PresolveFixed
+	st.LPRefactorizations += sol.LPRefactorizations
+	st.LPBasisUpdates += sol.LPBasisUpdates
 	if sol.WarmStarted {
 		st.WarmStarted++
 	}
@@ -64,12 +73,14 @@ func (st *SolverStats) add(sol milp.Solution) {
 func (st *SolverStats) Accumulate(o SolverStats) {
 	st.Solves += o.Solves
 	st.Nodes += o.Nodes
-	st.Pivots += o.Pivots
+	st.LPIterations += o.LPIterations
 	st.Incumbents += o.Incumbents
 	st.Timeouts += o.Timeouts
 	st.WallTime += o.WallTime
 	st.PresolveFixed += o.PresolveFixed
 	st.WarmStarted += o.WarmStarted
+	st.LPRefactorizations += o.LPRefactorizations
+	st.LPBasisUpdates += o.LPBasisUpdates
 	if o.Workers > st.Workers {
 		st.Workers = o.Workers
 	}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"billcap/internal/dcmodel"
+	"billcap/internal/lp"
 	"billcap/internal/milp"
 	"billcap/internal/pricing"
 )
@@ -88,6 +89,10 @@ type Options struct {
 	// DeterministicSolver pins the sequential node ordering regardless of
 	// SolverWorkers, for reproducible replays and tests.
 	DeterministicSolver bool
+	// LPCore selects the simplex implementation behind every LP relaxation
+	// (lp.CoreSparse, the default, or lp.CoreDense — the dense tableau
+	// retained as the correctness oracle).
+	LPCore lp.Core
 	// SolverCache enables incremental hour-over-hour solving: the MILP
 	// presolve runs before every search, the hour-invariant model skeleton is
 	// memoized (subsequent hours clone it and patch only the changed
@@ -106,6 +111,7 @@ func (s *System) solveOptions() milp.Options {
 		MaxNodes:      s.opts.MaxSolveNodes,
 		Workers:       s.opts.SolverWorkers,
 		Deterministic: s.opts.DeterministicSolver,
+		LPCore:        s.opts.LPCore,
 	}
 }
 

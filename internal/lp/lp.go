@@ -1,20 +1,89 @@
-// Package lp implements a dense two-phase primal simplex solver for linear
-// programs in the form
+// Package lp solves linear programs in the form
 //
 //	minimize    c·x
 //	subject to  a_k·x (≤ | = | ≥) b_k   for every constraint k
-//	            x ≥ 0
+//	            lo ≤ x ≤ hi             (lo ≥ 0; hi may be +Inf)
 //
-// All variables are nonnegative; callers that need upper bounds or branching
-// bounds (as the MILP layer does) add them as explicit constraint rows. The
-// problems produced by this repository are tiny (tens of variables and rows),
-// so a dense tableau is both simple and fast.
+// Two interchangeable cores implement the same contract:
+//
+//   - CoreSparse (the default): a sparse revised simplex over a CSC-stored
+//     constraint matrix with an LU-factorized basis, eta-file updates between
+//     periodic refactorizations, native bounded-variable handling and Devex
+//     pricing. Branching bounds and binary bounds are bound changes, not rows,
+//     so the basis never grows during branch and bound.
+//   - CoreDense: the original dense two-phase tableau simplex, retained as the
+//     correctness oracle (variable bounds are lowered into explicit rows).
+//
+// Both cores answer identically within tolerance; the cross-oracle property
+// tests in this package enforce that.
 package lp
 
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
+
+// Core selects the simplex implementation.
+type Core int
+
+// Core values. The zero value defers to the package default (see
+// SetDefaultCore), which is the sparse revised simplex.
+const (
+	CoreDefault Core = iota // package default (sparse unless overridden)
+	CoreSparse              // sparse revised simplex, LU basis, Devex pricing
+	CoreDense               // dense two-phase tableau (the correctness oracle)
+)
+
+// String names the core ("sparse", "dense").
+func (c Core) String() string {
+	switch c {
+	case CoreSparse:
+		return "sparse"
+	case CoreDense:
+		return "dense"
+	case CoreDefault:
+		return "default"
+	}
+	return fmt.Sprintf("Core(%d)", int(c))
+}
+
+// ParseCore maps "dense"/"sparse" (or "" for the default) onto a Core.
+func ParseCore(s string) (Core, error) {
+	switch s {
+	case "", "default":
+		return CoreDefault, nil
+	case "sparse":
+		return CoreSparse, nil
+	case "dense":
+		return CoreDense, nil
+	}
+	return CoreDefault, fmt.Errorf("lp: unknown core %q (want dense or sparse)", s)
+}
+
+// defaultCore holds the process-wide core used when Options.Core is
+// CoreDefault. Atomic so benchmarks and servers can flip it concurrently.
+var defaultCore atomic.Int32
+
+// SetDefaultCore overrides the package-wide default core (CoreDefault resets
+// to the built-in sparse default).
+func SetDefaultCore(c Core) { defaultCore.Store(int32(c)) }
+
+// DefaultCore reports the core a zero-value Options would use.
+func DefaultCore() Core {
+	if c := Core(defaultCore.Load()); c == CoreSparse || c == CoreDense {
+		return c
+	}
+	return CoreSparse
+}
+
+// core resolves the options' core selection.
+func (o Options) core() Core {
+	if o.Core == CoreSparse || o.Core == CoreDense {
+		return o.Core
+	}
+	return DefaultCore()
+}
 
 // Rel is the relation of a constraint row to its right-hand side.
 type Rel int
@@ -57,6 +126,8 @@ type Constraint struct {
 type Problem struct {
 	obj         []float64
 	names       []string
+	lower       []float64 // per-variable lower bounds (finite, ≥ 0)
+	upper       []float64 // per-variable upper bounds (may be +Inf)
 	constraints []Constraint
 	maximize    bool
 }
@@ -76,10 +147,36 @@ func (p *Problem) Maximizing() bool { return p.maximize }
 func (p *Problem) AddVar(name string, objCoef float64) int {
 	p.obj = append(p.obj, objCoef)
 	p.names = append(p.names, name)
+	p.lower = append(p.lower, 0)
+	p.upper = append(p.upper, math.Inf(1))
 	for i := range p.constraints {
 		p.constraints[i].Coeffs = append(p.constraints[i].Coeffs, 0)
 	}
 	return len(p.obj) - 1
+}
+
+// SetVarBounds replaces the bounds of variable v with lo ≤ x_v ≤ hi. The
+// lower bound must be finite and nonnegative (both cores keep x ≥ 0 exact);
+// hi may be +Inf. The sparse core handles bounds natively — they cost no
+// constraint rows — while the dense oracle lowers them into internal rows.
+func (p *Problem) SetVarBounds(v int, lo, hi float64) {
+	if v < 0 || v >= len(p.obj) {
+		panic(fmt.Sprintf("lp: SetVarBounds on unknown variable %d", v))
+	}
+	if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || lo < 0 || hi < lo {
+		panic(fmt.Sprintf("lp: invalid bounds [%g, %g] for variable %d", lo, hi, v))
+	}
+	p.lower[v] = lo
+	p.upper[v] = hi
+}
+
+// VarBounds returns the [lo, hi] bounds of variable v (default [0, +Inf)).
+func (p *Problem) VarBounds(v int) (lo, hi float64) { return p.lower[v], p.upper[v] }
+
+// defaultBounds reports whether variable v still has the AddVar default
+// bounds [0, +Inf).
+func (p *Problem) defaultBounds(v int) bool {
+	return p.lower[v] == 0 && math.IsInf(p.upper[v], 1)
 }
 
 // NumVars returns the number of variables added so far.
@@ -134,6 +231,8 @@ func (p *Problem) Clone() *Problem {
 	q := &Problem{
 		obj:      append([]float64(nil), p.obj...),
 		names:    append([]string(nil), p.names...),
+		lower:    append([]float64(nil), p.lower...),
+		upper:    append([]float64(nil), p.upper...),
 		maximize: p.maximize,
 	}
 	q.constraints = make([]Constraint, len(p.constraints))
@@ -178,13 +277,17 @@ type Solution struct {
 	Status    Status
 	X         []float64 // variable values (valid when Status == Optimal)
 	Objective float64   // objective value in the problem's own direction
-	Pivots    int       // simplex pivots performed across both phases
+	Pivots    int       // simplex iterations performed across both phases
 	// Duals holds one shadow price per constraint row (valid when Status ==
 	// Optimal): the rate of change of the optimal objective per unit of
 	// right-hand side, in the problem's own optimization direction. This is
 	// what makes the locational marginal price of a power-balance row drop
 	// out of an optimal power flow.
 	Duals []float64
+	// Refactorizations and BasisUpdates count the sparse core's LU rebuilds
+	// and eta-file basis updates; both stay 0 on the dense oracle.
+	Refactorizations int
+	BasisUpdates     int
 }
 
 // Residual describes how much a solution violates one constraint.
@@ -194,12 +297,18 @@ type Residual struct {
 }
 
 // CheckFeasible returns the rows of p violated by x beyond tol, including
-// negativity of any variable (reported with Row == -1-varIndex).
+// variable-bound violations (reported with Row == -1-varIndex).
 func (p *Problem) CheckFeasible(x []float64, tol float64) []Residual {
 	var out []Residual
 	for v, xv := range x {
-		if xv < -tol {
-			out = append(out, Residual{Row: -1 - v, Violation: -xv})
+		lo, hi := 0.0, math.Inf(1)
+		if v < len(p.lower) {
+			lo, hi = p.lower[v], p.upper[v]
+		}
+		if xv < lo-tol {
+			out = append(out, Residual{Row: -1 - v, Violation: lo - xv})
+		} else if xv > hi+tol {
+			out = append(out, Residual{Row: -1 - v, Violation: xv - hi})
 		}
 	}
 	for k, c := range p.constraints {

@@ -11,26 +11,39 @@ const (
 	zeroTol  = 1e-9 // reduced-cost / feasibility tolerance
 )
 
-// Solve runs the two-phase primal simplex method and returns the solution.
+// Solve runs the simplex method and returns the solution.
 // The zero options value is ready to use.
 func (p *Problem) Solve() Solution { return p.SolveWithOptions(Options{}) }
 
 // Options tune the solver. The zero value uses sensible defaults.
 type Options struct {
-	// MaxPivots caps the total number of pivots across both phases.
-	// 0 means 200·(rows+columns)+5000, far above what these problems need.
+	// MaxPivots caps the total number of simplex iterations across both
+	// phases. 0 means 200·(rows+columns)+5000, far above what these problems
+	// need.
 	MaxPivots int
-	// CrashBasis, when non-empty, is a basis (tableau column per row, as
+	// CrashBasis, when non-empty, is a basis (basis column per row, as
 	// returned by WarmStart.Basis from a structurally identical problem) to
-	// crash into the fresh tableau before optimizing, skipping phase 1. A
-	// basis that does not fit this problem's shape, violates its constraints,
-	// or cannot be repaired cheaply is discarded and the solve proceeds cold,
-	// so the answer is always as reliable as a cold Solve.
+	// crash into the fresh solve, skipping phase 1. A basis that does not fit
+	// this problem's shape, violates its constraints, or cannot be repaired
+	// cheaply is discarded and the solve proceeds cold, so the answer is
+	// always as reliable as a cold Solve. Each core interprets the basis by
+	// its own column-numbering convention; a basis recorded by the other core
+	// simply fails the screen and falls back cold.
 	CrashBasis []int
+	// Core selects the simplex implementation (sparse revised simplex by
+	// default; CoreDense forces the dense tableau oracle).
+	Core Core
 }
 
 // SolveWithOptions is Solve with explicit options.
 func (p *Problem) SolveWithOptions(opt Options) Solution {
+	if opt.core() == CoreSparse {
+		if sol, _, ok := p.solveRevised(opt); ok {
+			return sol
+		}
+		// The sparse core hit a numerical wall (singular refactorization);
+		// the dense oracle is always available as the fallback.
+	}
 	sol, _, _ := p.solveTableau(opt)
 	return sol
 }
@@ -115,12 +128,40 @@ func (p *Problem) solveTableau(opt Options) (Solution, *tableau, int) {
 	return p.extractSolution(tb, fullCosts, pivots), t, artStart
 }
 
+// denseRows returns the rows the dense oracle builds its tableau over: the
+// problem's own constraints followed by rows synthesized from non-default
+// variable bounds (x_v ≤ hi when finite, x_v ≥ lo when positive). The sparse
+// core handles bounds natively; lowering them into explicit rows here keeps
+// the dense tableau exactly as general without touching its pivoting code.
+func (p *Problem) denseRows() []Constraint {
+	n := len(p.obj)
+	var extra []Constraint
+	for v := 0; v < n && v < len(p.lower); v++ {
+		lo, hi := p.lower[v], p.upper[v]
+		if !math.IsInf(hi, 1) {
+			row := make([]float64, n)
+			row[v] = 1
+			extra = append(extra, Constraint{Coeffs: row, Rel: LE, RHS: hi})
+		}
+		if lo > 0 {
+			row := make([]float64, n)
+			row[v] = 1
+			extra = append(extra, Constraint{Coeffs: row, Rel: GE, RHS: lo})
+		}
+	}
+	if extra == nil {
+		return p.constraints
+	}
+	return append(append([]Constraint(nil), p.constraints...), extra...)
+}
+
 // buildTableau constructs the initial canonical tableau: one slack per LE,
 // one surplus + one artificial per GE, one artificial per EQ, with every row
-// normalized to rhs ≥ 0 first.
+// normalized to rhs ≥ 0 first. Variable bounds arrive as lowered rows.
 func (p *Problem) buildTableau() tabBuild {
 	n := len(p.obj)
-	m := len(p.constraints)
+	rows := p.denseRows()
+	m := len(rows)
 
 	// Effective minimization objective.
 	costs := make([]float64, n)
@@ -133,7 +174,7 @@ func (p *Problem) buildTableau() tabBuild {
 
 	kinds := make([]rowKind, m)
 	slacks, artificials := 0, 0
-	for k, c := range p.constraints {
+	for k, c := range rows {
 		rel := c.Rel
 		neg := c.RHS < 0
 		if neg {
@@ -170,7 +211,7 @@ func (p *Problem) buildTableau() tabBuild {
 	// final tableau column is the k-th column of B⁻¹, from which the row's
 	// dual value c_B·B⁻¹e_k is read off after the solve.
 	auxCol := make([]int, m)
-	for k, c := range p.constraints {
+	for k, c := range rows {
 		row := make([]float64, total+1)
 		sign := 1.0
 		if kinds[k].neg {
@@ -224,9 +265,10 @@ func (p *Problem) extractSolution(tb tabBuild, fullCosts []float64, pivots int) 
 
 	// Row duals: y_k = c_B · B⁻¹e_k, undoing the rhs-sign normalization and
 	// the minimization flip so the value is d(objective)/d(rhs_k) in the
-	// problem's own direction.
-	duals := make([]float64, t.m)
-	for k := 0; k < t.m; k++ {
+	// problem's own direction. Only the problem's own rows get duals; the
+	// internal rows lowered from variable bounds are implementation detail.
+	duals := make([]float64, len(p.constraints))
+	for k := range duals {
 		y := 0.0
 		col := tb.auxCol[k]
 		for i, b := range t.basis {

@@ -2,18 +2,30 @@ package lp
 
 import "math"
 
-// WarmStart captures an optimally solved tableau so that closely related
+// WarmStart captures an optimally solved base state so that closely related
 // problems — the original plus a few extra inequality rows, exactly what
 // branch-and-bound generates — can be re-solved by the dual simplex method
 // from the parent's basis instead of from scratch. This is the warm-start
 // strategy MILP solvers like lp_solve use, and it is what makes the B&B
 // node cost a handful of pivots rather than a full two-phase solve.
+//
+// The state is recorded by whichever core produced the base optimum and all
+// ReSolves (including their cold fallbacks) stay on that core. On the sparse
+// core, single-variable extra rows — all that branch and bound ever generates
+// — become bound tightenings on the frozen solver state, so a node re-solve
+// works on a basis of the same size as the root instead of a grown tableau.
 type WarmStart struct {
-	problem  *Problem
+	problem *Problem
+	core    Core
+	root    Solution
+
+	// Dense-oracle state.
 	base     *tableau // optimal tableau of the base problem (never mutated)
 	artStart int      // first artificial column; [artStart, base.n) barred
 	costs    []float64
-	root     Solution
+
+	// Sparse-core state: the frozen optimal solver; ReSolve mutates clones.
+	rev *revSolver
 }
 
 // ExtraRow is an additional inequality a·x (≤|≥) b over the structural
@@ -29,6 +41,16 @@ type ExtraRow struct {
 // WarmStart for re-solving with extra rows. The returned Solution is the
 // base optimum (identical to Solve's).
 func (p *Problem) SolveForWarmStart(opt Options) (*WarmStart, Solution) {
+	if opt.core() == CoreSparse {
+		sol, rs, ok := p.solveRevised(opt)
+		if ok {
+			if sol.Status != Optimal {
+				return nil, sol
+			}
+			return &WarmStart{problem: p, core: CoreSparse, rev: rs, root: sol}, sol
+		}
+		// Sparse core hit a numerical wall; record a dense warm start instead.
+	}
 	sol, t, artStart := p.solveTableau(opt)
 	if sol.Status != Optimal {
 		return nil, sol
@@ -41,26 +63,50 @@ func (p *Problem) SolveForWarmStart(opt Options) (*WarmStart, Solution) {
 			costs[j] = p.obj[j]
 		}
 	}
-	return &WarmStart{problem: p, base: t, artStart: artStart, costs: costs, root: sol}, sol
+	return &WarmStart{problem: p, core: CoreDense, base: t, artStart: artStart, costs: costs, root: sol}, sol
 }
 
 // Root returns the base problem's optimal solution.
 func (w *WarmStart) Root() Solution { return w.root }
 
-// Basis returns a copy of the optimal basis of the base problem: one tableau
-// column index per constraint row. The column layout (structural variables,
-// then slacks/surpluses in row order, then artificials in row order) is
-// determined entirely by the problem's constraint relations, so the basis can
-// seed Options.CrashBasis on a later problem with the same structure — the
-// cross-problem analogue of ReSolve's same-problem warm start.
-func (w *WarmStart) Basis() []int { return append([]int(nil), w.base.basis...) }
+// Basis returns a copy of the optimal basis of the base problem: one basis
+// column index per row, in the recording core's own numbering. The sparse
+// core's layout (structural variables 0..n-1, then the slack of row i at
+// n+i) depends only on the problem's shape, so the basis can seed
+// Options.CrashBasis on a later problem with the same structure — the
+// cross-problem analogue of ReSolve's same-problem warm start. The dense
+// oracle's layout likewise follows from its constraint relations. A basis
+// handed to the other core simply fails its shape screen and the solve goes
+// cold, never wrong.
+func (w *WarmStart) Basis() []int {
+	if w.core == CoreSparse {
+		pr := w.rev.pr
+		out := make([]int, pr.m)
+		for i, b := range w.rev.basis {
+			if b >= pr.n+pr.m {
+				// A redundant row kept its phase-1 artificial basic at zero;
+				// the row's slack is an equivalent crash column.
+				b = pr.n + pr.artRow[b-pr.n-pr.m]
+			}
+			out[i] = b
+		}
+		return out
+	}
+	return append([]int(nil), w.base.basis...)
+}
 
-// Clone returns an independent copy of the warm-start state: the optimal base
-// tableau, basis and cost vector are deep-copied so that concurrent
-// branch-and-bound workers can each re-solve from a private root basis
-// without sharing any mutable state. The underlying Problem is shared — it is
-// read-only for the lifetime of a solve.
+// Clone returns an independent copy of the warm-start state: everything a
+// re-solve mutates is deep-copied so that concurrent branch-and-bound workers
+// can each re-solve from a private root basis without sharing any mutable
+// state. The underlying Problem is shared — it is read-only for the lifetime
+// of a solve — and on the sparse core so are the immutable LU arrays and the
+// constraint matrix.
 func (w *WarmStart) Clone() *WarmStart {
+	if w.core == CoreSparse {
+		c := *w
+		c.rev = w.rev.cloneForReSolve()
+		return &c
+	}
 	t := &tableau{
 		m:     w.base.m,
 		n:     w.base.n,
@@ -86,6 +132,9 @@ func (w *WarmStart) Clone() *WarmStart {
 func (w *WarmStart) ReSolve(extra []ExtraRow) Solution {
 	if len(extra) == 0 {
 		return w.root
+	}
+	if w.core == CoreSparse {
+		return w.reSolveSparse(extra)
 	}
 	nStruct := len(w.problem.obj)
 	oldN := w.base.n
@@ -164,12 +213,87 @@ func (w *WarmStart) ReSolve(extra []ExtraRow) Solution {
 	}
 	// Dual iteration hit its cap (rare: heavy degeneracy). Fall back to the
 	// cold solver for a guaranteed-correct answer.
+	sol := w.coldExtra(extra)
+	sol.Pivots += pivots
+	return sol
+}
+
+// coldExtra solves problem+extra from scratch on the warm start's own core,
+// the guaranteed-correct fallback shared by both ReSolve paths.
+func (w *WarmStart) coldExtra(extra []ExtraRow) Solution {
 	q := w.problem.Clone()
 	for _, ex := range extra {
 		q.AddConstraint(ex.Terms, ex.Rel, ex.RHS)
 	}
-	sol := q.Solve()
-	sol.Pivots += pivots
+	return q.SolveWithOptions(Options{Core: w.core})
+}
+
+// reSolveSparse re-solves the base problem plus the extra rows on the sparse
+// core. Single-variable rows — everything branch and bound generates — become
+// bound tightenings on a clone of the frozen optimal state: the reduced costs
+// are untouched (costs and basis are unchanged), so the point stays dual
+// feasible and the dual simplex repairs the handful of bound violations in a
+// few pivots on a basis that never grew. Multi-variable rows take the cold
+// fallback.
+func (w *WarmStart) reSolveSparse(extra []ExtraRow) Solution {
+	n := len(w.problem.obj)
+	single := true
+	for _, ex := range extra {
+		if len(ex.Terms) != 1 || ex.Terms[0].Coef == 0 || ex.Rel == EQ {
+			single = false
+		}
+		for _, t := range ex.Terms {
+			if t.Var < 0 || t.Var >= n {
+				return Solution{Status: Infeasible}
+			}
+		}
+	}
+	if !single {
+		return w.coldExtra(extra)
+	}
+
+	c := w.rev.cloneForReSolve()
+	pr := c.pr
+	for _, ex := range extra {
+		v, coef := ex.Terms[0].Var, ex.Terms[0].Coef
+		bound := ex.RHS / coef
+		rel := ex.Rel
+		if coef < 0 {
+			if rel == LE {
+				rel = GE
+			} else {
+				rel = LE
+			}
+		}
+		if rel == LE {
+			if bound < pr.hi[v] {
+				pr.hi[v] = bound
+			}
+		} else if bound > pr.lo[v] {
+			pr.lo[v] = bound
+		}
+		if pr.lo[v] > pr.hi[v]+1e-9 {
+			return Solution{Status: Infeasible}
+		}
+	}
+
+	// Nonbasic columns whose pinned bound moved shift automatically through
+	// value(); one FTRAN refreshes the basic values against the new point.
+	c.computeXB()
+	st := c.dual()
+	if st == Optimal {
+		// Primal polish: terminates immediately when already optimal.
+		st = c.primal()
+	}
+	switch st {
+	case Optimal:
+		return c.extractX(w.problem, Optimal)
+	case Infeasible:
+		return c.extractX(w.problem, Infeasible)
+	}
+	// Pivot cap or numerical trouble: cold fallback, same answer guarantee.
+	sol := w.coldExtra(extra)
+	sol.Pivots += c.pivots
 	return sol
 }
 

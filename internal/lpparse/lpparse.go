@@ -9,17 +9,21 @@
 //	x + y <= 10
 //	x - y = 2
 //	int x z                     # declare general integers
-//	bin b                       # declare binaries (adds 0 ≤ b ≤ 1)
+//	bin b                       # declare binaries (sets bounds 0 ≤ b ≤ 1)
+//	bounds: 1 <= x <= 4         # variable bounds; also "x <= 4", "x >= 1", "x = 2"
 //
 // Variables are nonnegative and spring into existence on first mention.
 // Coefficients may be attached ("3x") or separated ("3 x"); bare variables
-// mean coefficient 1.
+// mean coefficient 1. A bounds statement replaces the named side of the
+// variable's [0, +Inf) default — it is a declaration, not an extra row, so
+// the solver's bounded simplex handles it without growing the basis.
 package lpparse
 
 import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 	"unicode"
@@ -101,6 +105,8 @@ func (p *parser) statement(line string) error {
 		return p.declare(line[4:], false)
 	case strings.HasPrefix(lower, "bin "):
 		return p.declare(line[4:], true)
+	case strings.HasPrefix(lower, "bounds:"):
+		return p.bounds(strings.TrimSpace(line[len("bounds:"):]))
 	}
 	return p.constraint(line)
 }
@@ -117,10 +123,126 @@ func (p *parser) declare(names string, binary bool) error {
 		v := p.variable(n)
 		p.out.Problem.SetInteger(v, true)
 		if binary {
-			p.out.Problem.AddConstraint([]lp.Term{{Var: v, Coef: 1}}, lp.LE, 1)
+			p.out.Problem.SetVarBounds(v, 0, 1)
 		}
 	}
 	return nil
+}
+
+// bounds parses one bounds statement: "lo <= x <= hi" (or the mirrored
+// ">= ... >="), a single-sided "x <= hi" / "x >= lo" with the variable on
+// either side, or a fixing "x = v". Each statement replaces the named side of
+// the variable's current bounds.
+func (p *parser) bounds(s string) error {
+	parts, rels := splitAllRelations(s)
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	num := func(t string) (float64, error) {
+		v, err := strconv.ParseFloat(t, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad bound %q", t)
+		}
+		return v, nil
+	}
+	switch len(rels) {
+	case 1:
+		a, b := parts[0], parts[1]
+		rel := rels[0]
+		if !validIdent(a) {
+			// Mirrored "5 >= x": flip so the variable reads on the left.
+			a, b = b, a
+			switch rel {
+			case lp.LE:
+				rel = lp.GE
+			case lp.GE:
+				rel = lp.LE
+			}
+		}
+		if !validIdent(a) {
+			return fmt.Errorf("no variable in bounds statement %q", s)
+		}
+		v, err := num(b)
+		if err != nil {
+			return err
+		}
+		switch rel {
+		case lp.LE:
+			return p.setBound(a, math.Inf(-1), v)
+		case lp.GE:
+			return p.setBound(a, v, math.Inf(1))
+		default: // EQ: fix the variable
+			return p.setBound(a, v, v)
+		}
+	case 2:
+		lo, name, hi := parts[0], parts[1], parts[2]
+		if rels[0] != rels[1] || rels[0] == lp.EQ {
+			return fmt.Errorf("mixed relations in bounds statement %q", s)
+		}
+		if rels[0] == lp.GE { // "hi >= x >= lo"
+			lo, hi = hi, lo
+		}
+		if !validIdent(name) {
+			return fmt.Errorf("no variable in bounds statement %q", s)
+		}
+		l, err := num(lo)
+		if err != nil {
+			return err
+		}
+		h, err := num(hi)
+		if err != nil {
+			return err
+		}
+		return p.setBound(name, l, h)
+	}
+	return fmt.Errorf("bounds statement %q needs one or two relations", s)
+}
+
+// setBound merges the statement into the variable's bounds: an infinite side
+// keeps whatever is already declared.
+func (p *parser) setBound(name string, lo, hi float64) error {
+	v := p.variable(name)
+	curLo, curHi := p.out.Problem.VarBounds(v)
+	if math.IsInf(lo, -1) {
+		lo = curLo
+	}
+	if math.IsInf(hi, 1) && !math.IsInf(curHi, 1) {
+		hi = curHi
+	}
+	if lo < 0 {
+		return fmt.Errorf("negative lower bound %g for %s (variables are nonnegative)", lo, name)
+	}
+	if hi < lo {
+		return fmt.Errorf("empty bounds [%g, %g] for %s", lo, hi, name)
+	}
+	p.out.Problem.SetVarBounds(v, lo, hi)
+	return nil
+}
+
+// splitAllRelations splits a bounds statement on every relation operator,
+// returning the interleaved text parts and the relations between them.
+func splitAllRelations(s string) ([]string, []lp.Rel) {
+	ops := []struct {
+		op  string
+		rel lp.Rel
+	}{{"<=", lp.LE}, {">=", lp.GE}, {"=<", lp.LE}, {"=>", lp.GE}, {"=", lp.EQ}}
+	var parts []string
+	var rels []lp.Rel
+	for {
+		best, bi := -1, -1
+		for i, c := range ops {
+			if j := strings.Index(s, c.op); j >= 0 && (best < 0 || j < best) {
+				best, bi = j, i
+			}
+		}
+		if best < 0 {
+			parts = append(parts, s)
+			return parts, rels
+		}
+		parts = append(parts, s[:best])
+		rels = append(rels, ops[bi].rel)
+		s = s[best+len(ops[bi].op):]
+	}
 }
 
 func (p *parser) constraint(line string) error {

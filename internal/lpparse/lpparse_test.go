@@ -2,6 +2,7 @@ package lpparse
 
 import (
 	"math"
+	"os"
 	"strings"
 	"testing"
 
@@ -128,5 +129,77 @@ x <= 3
 `)
 	if s := p.Problem.Solve(); s.Status != milp.Infeasible {
 		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestBoundsStatements(t *testing.T) {
+	p := parse(t, `
+min: a + b + c + d + e
+use: a + b + c + d + e >= 0
+bounds: 1 <= a <= 4
+bounds: b <= 3
+bounds: c >= 2
+bounds: 5 >= d          # flipped single-sided form
+bounds: e = 2.5
+`)
+	want := [][2]float64{
+		{1, 4},
+		{0, 3},
+		{2, math.Inf(1)},
+		{0, 5},
+		{2.5, 2.5},
+	}
+	for i, w := range want {
+		lo, hi := p.Problem.VarBounds(i)
+		if lo != w[0] || hi != w[1] {
+			t.Errorf("%s: bounds [%g, %g], want [%g, %g]", p.Vars[i], lo, hi, w[0], w[1])
+		}
+	}
+	s := p.Problem.Solve()
+	if s.Status != milp.Optimal || !near(s.Objective, 5.5, 1e-9) { // 1+0+2+0+2.5
+		t.Fatalf("got %v obj=%v, want optimal 5.5", s.Status, s.Objective)
+	}
+}
+
+func TestBoundsErrors(t *testing.T) {
+	bad := []string{
+		"min: x\nx >= 0\nbounds: -1 <= x <= 4\n", // negative lower bound
+		"min: x\nx >= 0\nbounds: 4 <= x <= 1\n",  // empty range
+		"min: x\nx >= 0\nbounds: x\n",            // no relation
+		"min: x\nx >= 0\nbounds: 1 <= 2\n",       // no variable
+		"min: x\nx >= 0\nbounds: x <= y\n",       // non-numeric bound
+		"min: x\nx >= 0\nbounds: 1 <= x <= \n",   // dangling relation
+	}
+	for _, src := range bad {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted bad bounds source %q", src)
+		}
+	}
+}
+
+// TestBoundedCorpusModel pins the fuzz-corpus model: native bounds must carry
+// through parse and a write/parse round trip with the optimum intact.
+func TestBoundedCorpusModel(t *testing.T) {
+	src, err := os.ReadFile("testdata/bounded.lp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := parse(t, string(src))
+	s := p.Problem.Solve()
+	// g1=7 (cap row with spin=2), g2=3, d=4 gated by u=1: 35+27-8+3 = 57.
+	if s.Status != milp.Optimal || !near(s.Objective, 57, 1e-7) {
+		t.Fatalf("got %v obj=%v, want optimal 57", s.Status, s.Objective)
+	}
+	var buf strings.Builder
+	if err := Write(&buf, p.Problem); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Parse(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("re-parse of written model: %v\n%s", err, buf.String())
+	}
+	s2 := p2.Problem.Solve()
+	if s2.Status != milp.Optimal || !near(s2.Objective, 57, 1e-7) {
+		t.Fatalf("round trip: %v obj=%v, want optimal 57\n%s", s2.Status, s2.Objective, buf.String())
 	}
 }

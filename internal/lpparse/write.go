@@ -3,6 +3,7 @@ package lpparse
 import (
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -70,6 +71,29 @@ func Write(w io.Writer, p *milp.Problem) error {
 		}
 		if _, err := fmt.Fprintf(w, "c%d: %s %s %s\n",
 			k, strings.Join(row, " "), c.Rel, fmtNum(c.RHS)); err != nil {
+			return err
+		}
+	}
+
+	// Bounds: every variable whose [lo, hi] differs from the [0, +Inf)
+	// default gets one statement, so native bounds (binaries, per-site
+	// capacities) round-trip without being lowered to rows.
+	for v := 0; v < p.NumVars(); v++ {
+		lo, hi := p.VarBounds(v)
+		var stmt string
+		switch {
+		case lo == 0 && math.IsInf(hi, 1):
+			continue
+		case lo == hi:
+			stmt = fmt.Sprintf("bounds: %s = %s", names[v], fmtNum(lo))
+		case math.IsInf(hi, 1):
+			stmt = fmt.Sprintf("bounds: %s >= %s", names[v], fmtNum(lo))
+		case lo == 0:
+			stmt = fmt.Sprintf("bounds: %s <= %s", names[v], fmtNum(hi))
+		default:
+			stmt = fmt.Sprintf("bounds: %s <= %s <= %s", fmtNum(lo), names[v], fmtNum(hi))
+		}
+		if _, err := fmt.Fprintln(w, stmt); err != nil {
 			return err
 		}
 	}

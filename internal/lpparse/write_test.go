@@ -95,7 +95,20 @@ func TestWriteParseRoundTripProperty(t *testing.T) {
 		}
 		for i := 0; i < nc; i++ {
 			v := p.AddVar("c.v", r.Float64()*4-2)
-			p.AddConstraint([]lp.Term{{Var: v, Coef: 1}}, lp.LE, 1+4*r.Float64())
+			// Cap the variable either with an explicit row or with native
+			// bounds, so the writer's bounds section is exercised too.
+			switch r.Intn(4) {
+			case 0:
+				p.AddConstraint([]lp.Term{{Var: v, Coef: 1}}, lp.LE, 1+4*r.Float64())
+			case 1:
+				p.SetVarBounds(v, 0, 1+4*r.Float64())
+			case 2:
+				lo := math.Floor(r.Float64() * 3)
+				p.SetVarBounds(v, lo, lo+1+4*r.Float64())
+			default:
+				val := math.Floor(r.Float64() * 4)
+				p.SetVarBounds(v, val, val) // fixed variable
+			}
 		}
 		rows := 1 + r.Intn(3)
 		for k := 0; k < rows; k++ {

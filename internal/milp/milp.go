@@ -42,10 +42,13 @@ func (p *Problem) AddIntVar(name string, objCoef float64) int {
 	return v
 }
 
-// AddBinVar adds a {0,1} variable (integer with an upper bound row of 1).
+// AddBinVar adds a {0,1} variable: integer with native bounds [0, 1]. The
+// bound lives on the variable, not in a constraint row — the sparse LP core
+// handles it in the ratio test for free, and the dense oracle lowers it to an
+// explicit row itself, so neither core sees a basis row per binary.
 func (p *Problem) AddBinVar(name string, objCoef float64) int {
 	v := p.AddIntVar(name, objCoef)
-	p.AddConstraint([]lp.Term{{Var: v, Coef: 1}}, lp.LE, 1)
+	p.SetVarBounds(v, 0, 1)
 	return v
 }
 
@@ -107,15 +110,21 @@ func (s Status) String() string {
 
 // Solution is the result of a branch-and-bound run.
 type Solution struct {
-	Status     Status
-	X          []float64     // incumbent (integral entries exactly rounded)
-	Objective  float64       // objective of X in the problem's own direction
-	Nodes      int           // branch-and-bound nodes explored
-	Pivots     int           // total simplex pivots across all LP relaxations
-	Incumbents int           // times the incumbent improved during the search
-	Elapsed    time.Duration // wall time of the solve
-	Gap        float64       // |bound − incumbent| remaining at stop (0 when Optimal)
-	Workers    int           // branch-and-bound workers that ran the search
+	Status    Status
+	X         []float64 // incumbent (integral entries exactly rounded)
+	Objective float64   // objective of X in the problem's own direction
+	Nodes     int       // branch-and-bound nodes explored
+	Pivots    int       // total simplex pivots across all LP relaxations
+	// LPRefactorizations and LPBasisUpdates aggregate the sparse LP core's
+	// basis-factorization work across every relaxation of the search: LU
+	// rebuilds and product-form eta updates respectively. Both stay zero when
+	// the dense oracle (Options.LPCore == lp.CoreDense) ran the relaxations.
+	LPRefactorizations int
+	LPBasisUpdates     int
+	Incumbents         int           // times the incumbent improved during the search
+	Elapsed            time.Duration // wall time of the solve
+	Gap                float64       // |bound − incumbent| remaining at stop (0 when Optimal)
+	Workers            int           // branch-and-bound workers that ran the search
 	// PresolveFixed counts integer variables fixed by Options.Presolve before
 	// the search started (0 when presolve was off or fixed nothing).
 	PresolveFixed int
@@ -185,6 +194,11 @@ type Options struct {
 	// lp.Options.CrashBasis — usually Solution.RootBasis of the previous
 	// hour's solve. An unusable basis falls back to the cold two-phase solve.
 	StartBasis []int
+	// LPCore selects the LP core for the root relaxation — and, through the
+	// warm start it records, for every node re-solve of the search. The zero
+	// value follows the lp package default (the sparse revised simplex);
+	// lp.CoreDense pins the dense tableau oracle for A/B comparison.
+	LPCore lp.Core
 }
 
 // effectiveWorkers resolves the worker count: Deterministic pins the
@@ -234,6 +248,8 @@ type node struct {
 	bound  float64     // LP relaxation objective (minimization sense)
 	bounds []branch    // branching bounds accumulated from the root
 	sol    lp.Solution // the already-solved relaxation at this node
+	pseudo bool        // integral within IntTol but with no feasible rounding:
+	// already failed an incumbent repair, must be branched at zero tolerance
 }
 
 type branch struct {
@@ -275,14 +291,45 @@ func (p *Problem) SolveWithOptions(opt Options) Solution {
 // rootState is everything the sequential and parallel searches inherit from
 // the shared root stage.
 type rootState struct {
-	warm       *lp.WarmStart
-	root       lp.Solution // relaxation at the root, fixings applied
-	fix        []branch    // permanent bounds from presolve (every node inherits them)
-	seed       []float64   // accepted starting incumbent, nil when none
-	seedObj    float64     // seed objective, minimization sense (+Inf when none)
-	fixed      int         // integer variables fixed by presolve
-	rootBasis  []int       // optimal basis of the base LP, for the next hour
-	nodes, piv int
+	warm      *lp.WarmStart
+	root      lp.Solution // relaxation at the root, fixings applied
+	fix       []branch    // permanent bounds from presolve (every node inherits them)
+	seed      []float64   // accepted starting incumbent, nil when none
+	seedObj   float64     // seed objective, minimization sense (+Inf when none)
+	fixed     int         // integer variables fixed by presolve
+	rootBasis []int       // optimal basis of the base LP, for the next hour
+	nodes     int
+	eff       effort
+}
+
+// effort aggregates the LP work spent across relaxation solves: simplex
+// pivots plus the sparse core's basis-factorization counters (both zero when
+// the dense oracle ran). It is the accumulator behind Solution.Pivots,
+// Solution.LPRefactorizations and Solution.LPBasisUpdates.
+type effort struct {
+	pivots, refactors, updates int
+}
+
+// absorb adds one LP solve's counters.
+func (e *effort) absorb(s lp.Solution) {
+	e.pivots += s.Pivots
+	e.refactors += s.Refactorizations
+	e.updates += s.BasisUpdates
+}
+
+// merge adds another accumulator (a dive's or a repair's sub-total).
+func (e *effort) merge(o effort) {
+	e.pivots += o.pivots
+	e.refactors += o.refactors
+	e.updates += o.updates
+}
+
+// stamp writes the accumulated counters onto a Solution and returns it.
+func (e effort) stamp(s Solution) Solution {
+	s.Pivots = e.pivots
+	s.LPRefactorizations = e.refactors
+	s.LPBasisUpdates = e.updates
+	return s
 }
 
 func (p *Problem) solveFromRoot(opt Options, start time.Time) Solution {
@@ -304,18 +351,19 @@ func (p *Problem) solveFromRoot(opt Options, start time.Time) Solution {
 	// Solve the root once and keep its optimal basis; every node's relaxation
 	// (root + branch bound rows) is then re-solved by the warm-started dual
 	// simplex — the same strategy lp_solve's branch-and-bound uses.
-	warm, root := p.Problem.SolveForWarmStart(lp.Options{MaxPivots: opt.MaxLPPivots, CrashBasis: opt.StartBasis})
-	rs.nodes, rs.piv = 1, root.Pivots
+	warm, root := p.Problem.SolveForWarmStart(lp.Options{MaxPivots: opt.MaxLPPivots, CrashBasis: opt.StartBasis, Core: opt.LPCore})
+	rs.nodes = 1
+	rs.eff.absorb(root)
 	switch root.Status {
 	case lp.Unbounded:
-		return Solution{Status: Unbounded, Nodes: rs.nodes, Pivots: rs.piv, PresolveFixed: rs.fixed, Workers: 1}
+		return rs.eff.stamp(Solution{Status: Unbounded, Nodes: rs.nodes, PresolveFixed: rs.fixed, Workers: 1})
 	case lp.Infeasible:
-		return Solution{Status: Infeasible, Nodes: rs.nodes, Pivots: rs.piv, PresolveFixed: rs.fixed, Workers: 1}
+		return rs.eff.stamp(Solution{Status: Infeasible, Nodes: rs.nodes, PresolveFixed: rs.fixed, Workers: 1})
 	case lp.IterLimit:
 		// Through finish, so Gap reads +Inf: there is no incumbent, and the
 		// zero-value Gap of a bare Solution would tell callers "proven
 		// optimal" when nothing was proven at all.
-		s := p.finish(Limit, nil, math.Inf(1), sign, rs.nodes, rs.piv, nil)
+		s := p.finish(Limit, nil, math.Inf(1), sign, rs.nodes, rs.eff, nil)
 		s.PresolveFixed = rs.fixed
 		s.Workers = 1
 		return s
@@ -326,15 +374,15 @@ func (p *Problem) solveFromRoot(opt Options, start time.Time) Solution {
 	if len(rs.fix) > 0 {
 		fs := warm.ReSolve(branchRows(rs.fix))
 		rs.nodes++
-		rs.piv += fs.Pivots
+		rs.eff.absorb(fs)
 		switch fs.Status {
 		case lp.Optimal:
 			rs.root = fs
 		case lp.Infeasible:
 			// The fixings hold at every integer-feasible point, so an
 			// LP-infeasible fixed system means the MILP is infeasible.
-			return Solution{Status: Infeasible, Nodes: rs.nodes, Pivots: rs.piv,
-				PresolveFixed: rs.fixed, RootBasis: rs.rootBasis, Workers: 1}
+			return rs.eff.stamp(Solution{Status: Infeasible, Nodes: rs.nodes,
+				PresolveFixed: rs.fixed, RootBasis: rs.rootBasis, Workers: 1})
 		default:
 			// Numerical trouble under the fixing rows: search from the plain
 			// root instead — correctness over speed.
@@ -400,7 +448,8 @@ func (p *Problem) solveSequential(opt Options, start time.Time, rs rootState) So
 		incumbent    = rs.seed
 		incumbentObj = rs.seedObj // minimization sense
 		incumbents   int          // incumbent improvements (exposed for observability)
-		nodes, piv   = rs.nodes, rs.piv
+		nodes        = rs.nodes
+		eff          = rs.eff
 		h            nodeHeap
 	)
 	warm, root := rs.warm, rs.root
@@ -413,21 +462,36 @@ func (p *Problem) solveSequential(opt Options, start time.Time, rs rootState) So
 		if bound >= incumbentObj-opt.Gap {
 			return // dominated
 		}
+		pseudo := false
 		fv := p.mostFractional(sol.X, opt.IntTol)
 		if fv < 0 {
-			// Integer feasible: new incumbent.
-			incumbentObj = bound
-			incumbent = roundIntegral(sol.X, p.integer)
-			incumbents++
-			return
+			// Integral within tolerance: repair into an exactly feasible
+			// incumbent (rounding can strand continuous load behind big-M
+			// rows; see repairIncumbent).
+			x, obj, re, ok := p.repairIncumbent(bs, sol, relax)
+			eff.merge(re)
+			if ok {
+				if b := sign * obj; b < incumbentObj {
+					incumbentObj = b
+					incumbent = x
+					incumbents++
+				}
+				return
+			}
+			// No feasible completion at the rounded integers: branch on the
+			// worst residual fraction instead of accepting a bogus point.
+			if fv = p.mostFractional(sol.X, 0); fv < 0 {
+				return // exactly integral yet infeasible: numerically dead
+			}
+			pseudo = true
 		}
-		heap.Push(&h, &node{bound: bound, bounds: bs, sol: sol})
+		heap.Push(&h, &node{bound: bound, bounds: bs, sol: sol, pseudo: pseudo})
 	}
 	process(rs.fix, root)
 
 	for h.Len() > 0 {
 		if nodes >= opt.MaxNodes {
-			s := p.finish(Limit, incumbent, incumbentObj, sign, nodes, piv, h)
+			s := p.finish(Limit, incumbent, incumbentObj, sign, nodes, eff, h)
 			s.Incumbents = incumbents
 			return s
 		}
@@ -439,14 +503,14 @@ func (p *Problem) solveSequential(opt Options, start time.Time, rs rootState) So
 				// dive runs on borrowed time, so it gets its own bounded
 				// grace deadline rather than a free pass to overshoot by
 				// 2·NumIntegerVars LP re-solves.
-				if x, obj, dn, dp := p.dive(h[0], relax, opt, sign, time.Now().Add(diveGrace(opt.Deadline))); x != nil {
+				if x, obj, dn, de := p.dive(h[0], relax, opt, sign, time.Now().Add(diveGrace(opt.Deadline))); x != nil {
 					incumbent, incumbentObj = x, obj
 					incumbents++
 					nodes += dn
-					piv += dp
+					eff.merge(de)
 				}
 			}
-			s := p.finish(TimeLimit, incumbent, incumbentObj, sign, nodes, piv, h)
+			s := p.finish(TimeLimit, incumbent, incumbentObj, sign, nodes, eff, h)
 			s.Incumbents = incumbents
 			return s
 		}
@@ -459,14 +523,23 @@ func (p *Problem) solveSequential(opt Options, start time.Time, rs rootState) So
 		sol := it.sol
 		fv := p.mostFractional(sol.X, opt.IntTol)
 		if fv < 0 {
-			// Cannot happen (integer nodes become incumbents, not heap
-			// entries), but guard against tolerance drift.
-			if b := sign * sol.Objective; b < incumbentObj {
-				incumbentObj = b
-				incumbent = roundIntegral(sol.X, p.integer)
-				incumbents++
+			// Tolerance drift on a re-popped node: try the repair unless this
+			// node already failed it (pseudo), then branch at zero tolerance.
+			if !it.pseudo {
+				x, obj, re, ok := p.repairIncumbent(it.bounds, sol, relax)
+				eff.merge(re)
+				if ok {
+					if b := sign * obj; b < incumbentObj {
+						incumbentObj = b
+						incumbent = x
+						incumbents++
+					}
+					continue
+				}
 			}
-			continue
+			if fv = p.mostFractional(sol.X, 0); fv < 0 {
+				continue // exactly integral yet infeasible: numerically dead
+			}
 		}
 		v := sol.X[fv]
 		downB := branch{fv, lp.LE, math.Floor(v)}
@@ -480,7 +553,7 @@ func (p *Problem) solveSequential(opt Options, start time.Time, rs rootState) So
 			}
 			child := append(append([]branch(nil), it.bounds...), nb)
 			s := relax(child)
-			piv += s.Pivots
+			eff.absorb(s)
 			nodes++
 			if s.Status == lp.Optimal {
 				process(child, s)
@@ -488,20 +561,19 @@ func (p *Problem) solveSequential(opt Options, start time.Time, rs rootState) So
 		}
 	}
 	if incumbent == nil {
-		return Solution{Status: Infeasible, Nodes: nodes, Pivots: piv}
+		return eff.stamp(Solution{Status: Infeasible, Nodes: nodes})
 	}
-	return Solution{
+	return eff.stamp(Solution{
 		Status:     Optimal,
 		X:          incumbent,
 		Objective:  sign * incumbentObj,
 		Nodes:      nodes,
-		Pivots:     piv,
 		Incumbents: incumbents,
-	}
+	})
 }
 
-func (p *Problem) finish(st Status, inc []float64, incObj, sign float64, nodes, piv int, h nodeHeap) Solution {
-	s := Solution{Status: st, Nodes: nodes, Pivots: piv}
+func (p *Problem) finish(st Status, inc []float64, incObj, sign float64, nodes int, eff effort, h nodeHeap) Solution {
+	s := eff.stamp(Solution{Status: st, Nodes: nodes})
 	if inc != nil {
 		s.X = inc
 		s.Objective = sign * incObj
@@ -538,6 +610,42 @@ func diveGrace(d time.Duration) time.Duration {
 	return d
 }
 
+// repairIncumbent turns a relaxation point whose integer variables are all
+// integral within IntTol into an exactly feasible incumbent. Rounding alone is
+// not enough: through a big-M row like x ≤ M·y, a binary at 1e-5 — integral
+// under any practical tolerance — still licenses M·1e-5 worth of continuous x,
+// which becomes a constraint violation the moment y snaps to 0. When the
+// rounded point violates a row, one more warm re-solve with every integer
+// pinned to its rounded value lets the LP re-place the continuous variables
+// against the honest integer assignment. ok == false means no feasible
+// completion exists at those integer values: the point is only
+// pseudo-integral and must be branched further (on its worst sub-tolerance
+// fraction), never accepted. The returned objective is in the problem's own
+// optimization sense; eff counts the repair solve's LP work.
+func (p *Problem) repairIncumbent(bs []branch, sol lp.Solution, relax func([]branch) lp.Solution) (x []float64, obj float64, eff effort, ok bool) {
+	x = roundIntegral(sol.X, p.integer)
+	if len(p.Problem.CheckFeasible(x, 1e-6)) == 0 {
+		return x, p.Problem.Eval(x), eff, true
+	}
+	pins := append([]branch(nil), bs...)
+	for v, isInt := range p.integer {
+		if !isInt || v >= len(x) {
+			continue
+		}
+		pins = append(pins, branch{v, lp.LE, x[v]}, branch{v, lp.GE, x[v]})
+	}
+	rs := relax(pins)
+	eff.absorb(rs)
+	if rs.Status != lp.Optimal {
+		return nil, 0, eff, false
+	}
+	rx := roundIntegral(rs.X, p.integer)
+	if len(p.Problem.CheckFeasible(rx, 1e-6)) != 0 {
+		return nil, 0, eff, false
+	}
+	return rx, p.Problem.Eval(rx), eff, true
+}
+
 // branchRows converts accumulated branching bounds into warm-start rows.
 func branchRows(bs []branch) []lp.ExtraRow {
 	rows := make([]lp.ExtraRow, len(bs))
@@ -561,19 +669,28 @@ func branchRows(bs []branch) []lp.ExtraRow {
 // it can salvage from the partial descent (the current point snapped to
 // integers, if that happens to be feasible) instead of overshooting by the
 // whole dive. A nil x means nothing feasible was found in the budget.
-func (p *Problem) dive(it *node, relax func([]branch) lp.Solution, opt Options, sign float64, hard time.Time) (x []float64, obj float64, nodes, piv int) {
+func (p *Problem) dive(it *node, relax func([]branch) lp.Solution, opt Options, sign float64, hard time.Time) (x []float64, obj float64, nodes int, eff effort) {
 	bounds := it.bounds
 	sol := it.sol
 	for depth := 0; depth <= 2*p.NumIntegerVars()+1; depth++ {
 		fv := p.mostFractional(sol.X, opt.IntTol)
 		if fv < 0 {
-			return roundIntegral(sol.X, p.integer), sign * sol.Objective, nodes, piv
+			x, obj, re, ok := p.repairIncumbent(bounds, sol, relax)
+			eff.merge(re)
+			if ok {
+				return x, sign * obj, nodes, eff
+			}
+			// Pseudo-integral (see repairIncumbent): keep diving on the worst
+			// residual fraction rather than returning an infeasible point.
+			if fv = p.mostFractional(sol.X, 0); fv < 0 {
+				return nil, 0, nodes, eff
+			}
 		}
 		if opt.expired(hard) {
 			if x, obj, ok := p.snapRound(sol); ok {
-				return x, sign * obj, nodes, piv
+				return x, sign * obj, nodes, eff
 			}
-			return nil, 0, nodes, piv
+			return nil, 0, nodes, eff
 		}
 		v := sol.X[fv]
 		near := branch{fv, lp.LE, math.Floor(v)}
@@ -589,7 +706,7 @@ func (p *Problem) dive(it *node, relax func([]branch) lp.Solution, opt Options, 
 			child := append(append([]branch(nil), bounds...), nb)
 			s := relax(child)
 			nodes++
-			piv += s.Pivots
+			eff.absorb(s)
 			if s.Status == lp.Optimal {
 				bounds, sol = child, s
 				advanced = true
@@ -601,9 +718,9 @@ func (p *Problem) dive(it *node, relax func([]branch) lp.Solution, opt Options, 
 		}
 	}
 	if x, obj, ok := p.snapRound(sol); ok {
-		return x, sign * obj, nodes, piv
+		return x, sign * obj, nodes, eff
 	}
-	return nil, 0, nodes, piv
+	return nil, 0, nodes, eff
 }
 
 // snapRound is the dive's last gasp on expiry: snap the current fractional

@@ -35,7 +35,8 @@ type parSearch struct {
 	incumbent    []float64
 	incumbentObj float64 // minimization sense
 	incumbents   int
-	nodes, piv   int
+	nodes        int
+	eff          effort
 }
 
 // halt records the first stop reason and wakes every worker. Callers hold mu.
@@ -47,21 +48,27 @@ func (s *parSearch) halt(st Status) {
 	s.cond.Broadcast()
 }
 
-// offer routes a solved relaxation: dominated nodes are dropped, integral
-// ones become the incumbent, the rest join the frontier. Callers hold mu.
-// fv is the node's most fractional variable (computed outside the lock).
-func (s *parSearch) offer(bs []branch, sol lp.Solution, fv int) {
+// offer routes a solved relaxation: dominated nodes are dropped, repaired
+// integral points become the incumbent, the rest join the frontier. Callers
+// hold mu. fv is the node's most fractional variable and rx/robj the repaired
+// incumbent candidate — both computed outside the lock, since the repair may
+// run an LP. rx == nil with fv < 0 marks a pseudo-integral node (integral
+// within tolerance but with no feasible rounding): it joins the frontier to be
+// branched at zero tolerance instead of being accepted.
+func (s *parSearch) offer(bs []branch, sol lp.Solution, fv int, rx []float64, robj float64) {
 	bound := s.sign * sol.Objective
 	if bound >= s.incumbentObj-s.opt.Gap {
 		return // dominated by the shared incumbent
 	}
-	if fv < 0 {
-		s.incumbentObj = bound
-		s.incumbent = roundIntegral(sol.X, s.p.integer)
-		s.incumbents++
+	if fv < 0 && rx != nil {
+		if b := s.sign * robj; b < s.incumbentObj {
+			s.incumbentObj = b
+			s.incumbent = rx
+			s.incumbents++
+		}
 		return
 	}
-	heap.Push(&s.h, &node{bound: bound, bounds: bs, sol: sol})
+	heap.Push(&s.h, &node{bound: bound, bounds: bs, sol: sol, pseudo: fv < 0})
 	s.cond.Signal()
 }
 
@@ -116,16 +123,27 @@ func (s *parSearch) expand(it *node, relax func([]branch) lp.Solution) {
 	sol := it.sol
 	fv := s.p.mostFractional(sol.X, s.opt.IntTol)
 	if fv < 0 {
-		// Tolerance-drift guard, as in the sequential search: integer nodes
-		// become incumbents when pushed, not heap entries.
-		s.mu.Lock()
-		if b := s.sign * sol.Objective; b < s.incumbentObj {
-			s.incumbentObj = b
-			s.incumbent = roundIntegral(sol.X, s.p.integer)
-			s.incumbents++
+		// Tolerance drift, or a pseudo-integral node re-popped from the
+		// frontier: repair outside the lock (it may run an LP), unless this
+		// node already failed its repair; then branch at zero tolerance.
+		if !it.pseudo {
+			x, obj, re, ok := s.p.repairIncumbent(it.bounds, sol, relax)
+			s.mu.Lock()
+			s.eff.merge(re)
+			if ok {
+				if b := s.sign * obj; b < s.incumbentObj {
+					s.incumbentObj = b
+					s.incumbent = x
+					s.incumbents++
+				}
+				s.mu.Unlock()
+				return
+			}
+			s.mu.Unlock()
 		}
-		s.mu.Unlock()
-		return
+		if fv = s.p.mostFractional(sol.X, 0); fv < 0 {
+			return // exactly integral yet infeasible: numerically dead
+		}
 	}
 	v := sol.X[fv]
 	downB := branch{fv, lp.LE, math.Floor(v)}
@@ -139,14 +157,24 @@ func (s *parSearch) expand(it *node, relax func([]branch) lp.Solution) {
 		child := append(append([]branch(nil), it.bounds...), nb)
 		cs := relax(child)
 		cfv := -1
+		var ceff effort
+		var cx []float64
+		var cobj float64
 		if cs.Status == lp.Optimal {
 			cfv = s.p.mostFractional(cs.X, s.opt.IntTol)
+			if cfv < 0 {
+				// Integral within tolerance: repair outside the lock. A failed
+				// repair downgrades the child to a pseudo-integral frontier
+				// node (cx == nil), or drops it when exactly integral.
+				cx, cobj, ceff, _ = s.p.repairIncumbent(child, cs, relax)
+			}
 		}
 		s.mu.Lock()
 		s.nodes++
-		s.piv += cs.Pivots
-		if cs.Status == lp.Optimal {
-			s.offer(child, cs, cfv)
+		s.eff.absorb(cs)
+		s.eff.merge(ceff)
+		if cs.Status == lp.Optimal && !(cfv < 0 && cx == nil && s.p.mostFractional(cs.X, 0) < 0) {
+			s.offer(child, cs, cfv, cx, cobj)
 		}
 		s.mu.Unlock()
 	}
@@ -181,10 +209,21 @@ func (p *Problem) solveParallel(opt Options, start time.Time, workers int, rs ro
 		incumbent:    rs.seed,
 		incumbentObj: rs.seedObj,
 		nodes:        rs.nodes,
-		piv:          rs.piv,
+		eff:          rs.eff,
 	}
 	s.cond = sync.NewCond(&s.mu)
-	s.offer(rs.fix, root, p.mostFractional(root.X, opt.IntTol))
+	rootFv := p.mostFractional(root.X, opt.IntTol)
+	var rootX []float64
+	var rootObj float64
+	if rootFv < 0 {
+		var re effort
+		rootX, rootObj, re, _ = p.repairIncumbent(rs.fix, root,
+			func(bs []branch) lp.Solution { return warm.ReSolve(branchRows(bs)) })
+		s.eff.merge(re)
+	}
+	if !(rootFv < 0 && rootX == nil && p.mostFractional(root.X, 0) < 0) {
+		s.offer(rs.fix, root, rootFv, rootX, rootObj)
+	}
 
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
@@ -202,30 +241,29 @@ func (p *Problem) solveParallel(opt Options, start time.Time, workers int, rs ro
 
 	if !s.stopped {
 		if s.incumbent == nil {
-			return Solution{Status: Infeasible, Nodes: s.nodes, Pivots: s.piv}
+			return s.eff.stamp(Solution{Status: Infeasible, Nodes: s.nodes})
 		}
-		return Solution{
+		return s.eff.stamp(Solution{
 			Status:     Optimal,
 			X:          s.incumbent,
 			Objective:  sign * s.incumbentObj,
 			Nodes:      s.nodes,
-			Pivots:     s.piv,
 			Incumbents: s.incumbents,
-		}
+		})
 	}
 	if s.stopStatus == TimeLimit && s.incumbent == nil && len(s.h) > 0 {
 		// Same guarantee as the sequential deadline path: manufacture a
 		// feasible incumbent with a bounded, deadline-checked dive from the
 		// best open node.
 		relax := func(bs []branch) lp.Solution { return warm.ReSolve(branchRows(bs)) }
-		if x, obj, dn, dp := p.dive(s.h[0], relax, opt, sign, time.Now().Add(diveGrace(opt.Deadline))); x != nil {
+		if x, obj, dn, de := p.dive(s.h[0], relax, opt, sign, time.Now().Add(diveGrace(opt.Deadline))); x != nil {
 			s.incumbent, s.incumbentObj = x, obj
 			s.incumbents++
 			s.nodes += dn
-			s.piv += dp
+			s.eff.merge(de)
 		}
 	}
-	fin := p.finish(s.stopStatus, s.incumbent, s.incumbentObj, sign, s.nodes, s.piv, s.h)
+	fin := p.finish(s.stopStatus, s.incumbent, s.incumbentObj, sign, s.nodes, s.eff, s.h)
 	fin.Incumbents = s.incumbents
 	return fin
 }

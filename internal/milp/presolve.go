@@ -64,10 +64,10 @@ func (p *Problem) Presolve() PresolveResult {
 		maxPass = 20   // propagation almost always fixpoints in 2-3 passes
 	)
 	n := p.NumVars()
-	lo := make([]float64, n) // variables are nonnegative
+	lo := make([]float64, n) // seeded from the declared variable bounds
 	hi := make([]float64, n)
 	for j := range hi {
-		hi[j] = math.Inf(1)
+		lo[j], hi[j] = p.VarBounds(j)
 	}
 
 	// View every row as one or two ≤ inequalities.

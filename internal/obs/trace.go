@@ -63,6 +63,10 @@ type SolverTrace struct {
 	// Both stay 0 unless the solve cache is enabled.
 	PresolveFixed int `json:"presolveFixed,omitempty"`
 	WarmStarted   int `json:"warmStarted,omitempty"`
+	// LPRefactorizations / LPBasisUpdates are the sparse LP core's basis
+	// work (LU rebuilds, eta-file updates); 0 on the dense oracle.
+	LPRefactorizations int `json:"lpRefactorizations,omitempty"`
+	LPBasisUpdates     int `json:"lpBasisUpdates,omitempty"`
 }
 
 // BudgetTrace is the carry-forward ledger state after the hour was

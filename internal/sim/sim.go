@@ -377,7 +377,7 @@ func decisionTrace(cfg Config, h int, in core.HourInput, dec core.Decision, real
 		Solver: obs.SolverTrace{
 			Solves:     dec.Solver.Solves,
 			Nodes:      dec.Solver.Nodes,
-			Pivots:     dec.Solver.Pivots,
+			Pivots:     dec.Solver.LPIterations,
 			Incumbents: dec.Solver.Incumbents,
 			Timeouts:   dec.Solver.Timeouts,
 			Workers:    dec.Solver.Workers,
@@ -385,6 +385,9 @@ func decisionTrace(cfg Config, h int, in core.HourInput, dec core.Decision, real
 
 			PresolveFixed: dec.Solver.PresolveFixed,
 			WarmStarted:   dec.Solver.WarmStarted,
+
+			LPRefactorizations: dec.Solver.LPRefactorizations,
+			LPBasisUpdates:     dec.Solver.LPBasisUpdates,
 		},
 	}
 	if dec.Degraded != core.DegradeNone {
