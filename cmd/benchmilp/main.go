@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"time"
 
+	"billcap/internal/decomp"
 	"billcap/internal/lp"
 	"billcap/internal/milp"
 )
@@ -85,6 +86,33 @@ type coreCompare struct {
 	SparseSpeedup float64    `json:"sparseSpeedup"` // dense wall / sparse wall
 }
 
+// fleetResult pits the exact MILP against the Lagrangian dual decomposition
+// (internal/decomp) on one milp.NewPaperFleet hour. The exact solve runs
+// under the same node budget plus a wall-clock deadline, so at fleet scale it
+// reports a limit status with whatever incumbent it found, while the
+// decomposition answers with a proven primal–dual gap.
+type fleetResult struct {
+	Sites    int `json:"sites"`
+	Binaries int `json:"binaries"`
+
+	ExactWallMS    float64 `json:"exactWallMS"`
+	ExactStatus    string  `json:"exactStatus"`
+	ExactNodes     int     `json:"exactNodes"`
+	ExactObjective float64 `json:"exactObjective"`
+
+	DecompWallMS     float64 `json:"decompWallMS"`
+	DecompStatus     string  `json:"decompStatus"`
+	DecompIterations int     `json:"decompIterations"`
+	DecompObjective  float64 `json:"decompObjective"`
+	DecompDualBound  float64 `json:"decompDualBound"`
+	// DecompGapPct is the decomposition's own proven relative gap between its
+	// dual bound and recovered primal, in percent.
+	DecompGapPct float64 `json:"decompGapPct"`
+	// VsExactPct is decomp primal / exact incumbent − 1, in percent; only
+	// meaningful as an optimality comparison when ExactStatus is "optimal".
+	VsExactPct float64 `json:"vsExactPct"`
+}
+
 type report struct {
 	Bench       string              `json:"bench"`
 	GoMaxProcs  int                 `json:"goMaxProcs"`
@@ -93,6 +121,47 @@ type report struct {
 	Instances   []instanceResult    `json:"instances"`
 	LPCores     []coreCompare       `json:"lpCores"`
 	Incremental []incrementalResult `json:"incremental"`
+	Fleet       []fleetResult       `json:"fleet,omitempty"`
+}
+
+// runFleet measures one fleet size, best-of-reps per solver.
+func runFleet(sites, maxNodes, reps int, exactDeadline time.Duration) fleetResult {
+	fi := milp.NewPaperFleet(sites, 0)
+	fr := fleetResult{Sites: sites, Binaries: 5 * sites}
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		s := fi.Build().SolveWithOptions(milp.Options{MaxNodes: maxNodes, Deadline: exactDeadline})
+		wall := time.Since(start).Seconds() * 1e3
+		if fr.ExactWallMS == 0 || wall < fr.ExactWallMS {
+			fr.ExactWallMS = wall
+			fr.ExactStatus = s.Status.String()
+			fr.ExactNodes = s.Nodes
+			fr.ExactObjective = s.Objective
+		}
+	}
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		res, err := decomp.Solve(decomp.FromFleet(fi), decomp.Options{})
+		wall := time.Since(start).Seconds() * 1e3
+		if err != nil {
+			log.Fatalf("fleet sites=%d decomp: %v", sites, err)
+		}
+		if res.Status == decomp.Infeasible {
+			log.Fatalf("fleet sites=%d decomp: infeasible", sites)
+		}
+		if fr.DecompWallMS == 0 || wall < fr.DecompWallMS {
+			fr.DecompWallMS = wall
+			fr.DecompStatus = res.Status.String()
+			fr.DecompIterations = res.Iterations
+			fr.DecompObjective = res.Objective
+			fr.DecompDualBound = res.DualBound
+			fr.DecompGapPct = 100 * res.Gap
+		}
+	}
+	if fr.ExactObjective != 0 {
+		fr.VsExactPct = 100 * (fr.DecompObjective/fr.ExactObjective - 1)
+	}
+	return fr
 }
 
 // runCore solves the instance best-of-reps on one LP core, sequentially.
@@ -167,7 +236,9 @@ func main() {
 	out := flag.String("out", "BENCH_milp.json", "path to write the JSON report")
 	quick := flag.Bool("quick", false, "CI smoke mode: smaller node budget, one repetition")
 	gate := flag.Bool("gate", false,
-		"exit nonzero if the sparse core is slower (nodes/sec) than the dense oracle on the largest instance")
+		"exit nonzero if the sparse core is slower (nodes/sec) than the dense oracle on the largest instance, or if the fleet decomposition gap at N=50 exceeds 1%")
+	fleet := flag.Bool("fleet", false,
+		"also run the fleet section: exact MILP vs Lagrangian dual decomposition on milp.NewPaperFleet at N=50/200/500")
 	flag.Parse()
 
 	maxNodes, reps := 4000, 3
@@ -238,6 +309,24 @@ func main() {
 			sites, inc.Hours, inc.ColdNodes, inc.WarmNodes, inc.PresolveFixed, inc.WarmStarts, 100*inc.NodeReduction)
 	}
 
+	fleetGateOK := true
+	if *fleet {
+		exactDeadline := 10 * time.Second
+		if *quick {
+			exactDeadline = 3 * time.Second
+		}
+		for _, sites := range []int{50, 200, 500} {
+			fr := runFleet(sites, maxNodes, reps, exactDeadline)
+			rep.Fleet = append(rep.Fleet, fr)
+			fmt.Printf("fleet sites=%-4d exact=%9.1fms (%s, %d nodes)  decomp=%8.1fms (%s, %d iters)  gap=%.3f%%  vsExact=%+.3f%%\n",
+				sites, fr.ExactWallMS, fr.ExactStatus, fr.ExactNodes,
+				fr.DecompWallMS, fr.DecompStatus, fr.DecompIterations, fr.DecompGapPct, fr.VsExactPct)
+			if sites == 50 && fr.DecompGapPct > 1 {
+				fleetGateOK = false
+			}
+		}
+	}
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -249,5 +338,8 @@ func main() {
 	fmt.Printf("wrote %s (GOMAXPROCS=%d)\n", *out, rep.GoMaxProcs)
 	if *gate && !gateOK {
 		log.Fatal("gate: sparse core slower than the dense oracle at N=20")
+	}
+	if *gate && !fleetGateOK {
+		log.Fatal("gate: fleet decomposition gap above 1% at N=50")
 	}
 }

@@ -53,6 +53,10 @@ func main() {
 		"incremental hour-over-hour solving: MILP presolve plus a cross-hour warm-start cache (skeleton, basis, incumbent)")
 	lpcore := flag.String("lpcore", "",
 		"LP core behind every relaxation: sparse (revised simplex, the default) or dense (tableau oracle)")
+	decompose := flag.Bool("decompose", false,
+		"fleet-scale solving: route hour decisions through Lagrangian dual decomposition when the fleet exceeds -decompose-threshold sites")
+	decomposeThreshold := flag.Int("decompose-threshold", 0,
+		"fleet size above which -decompose leaves the exact MILP (0 = 20)")
 	flag.Parse()
 
 	core0, err := lp.ParseCore(*lpcore)
@@ -77,6 +81,9 @@ func main() {
 		SolverWorkers: *workers,
 		SolverCache:   *solverCache,
 		LPCore:        core0,
+
+		Decompose:          *decompose,
+		DecomposeThreshold: *decomposeThreshold,
 	})
 	if err != nil {
 		log.Fatalf("capperd: %v", err)

@@ -327,6 +327,13 @@ type DecideResponse struct {
 	// core's basis-factorization work (0 when the dense oracle ran).
 	SolverLPRefactorizations int `json:"solverLPRefactorizations,omitempty"`
 	SolverLPBasisUpdates     int `json:"solverLPBasisUpdates,omitempty"`
+	// SolverDecompIterations / SolverDecompGap / SolverDecompDualBound report
+	// the Lagrangian dual-decomposition effort when the fleet-scale path
+	// answered (subgradient iterations, worst proven relative primal–dual
+	// gap, last dual bound); all omitted on the exact-MILP path.
+	SolverDecompIterations int     `json:"solverDecompIterations,omitempty"`
+	SolverDecompGap        float64 `json:"solverDecompGap,omitempty"`
+	SolverDecompDualBound  float64 `json:"solverDecompDualBound,omitempty"`
 }
 
 // hourInputFrom maps the wire request onto the controller's input; a
@@ -368,6 +375,10 @@ func (s *Server) decideResponseFrom(dec core.Decision) DecideResponse {
 
 		SolverLPRefactorizations: dec.Solver.LPRefactorizations,
 		SolverLPBasisUpdates:     dec.Solver.LPBasisUpdates,
+
+		SolverDecompIterations: dec.Solver.DecompIterations,
+		SolverDecompGap:        dec.Solver.DecompGap,
+		SolverDecompDualBound:  dec.Solver.DecompDualBound,
 	}
 	if dec.Degraded != core.DegradeNone {
 		resp.Degraded = dec.Degraded.String()

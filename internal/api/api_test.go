@@ -124,6 +124,39 @@ func TestDecideUncappedAndCapped(t *testing.T) {
 	}
 }
 
+func TestDecideDecomposedReportsGap(t *testing.T) {
+	// A server running the fleet-scale decomposition path must surface the
+	// subgradient effort and the proven primal–dual gap on the wire.
+	s, err := New(dcmodel.PaperSites(), pricing.PaperPolicies(pricing.Policy1),
+		core.Options{Decompose: true, DecomposeThreshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var dec DecideResponse
+	resp := postJSON(t, ts.URL+"/v1/decide", DecideRequest{
+		TotalLambda: 1.5e12, PremiumLambda: 1.2e12,
+		DemandMW: []float64{170, 190, 150},
+	}, &dec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if dec.SolverDecompIterations == 0 {
+		t.Errorf("no decomposition iterations reported: %+v", dec)
+	}
+	if dec.SolverDecompDualBound == 0 {
+		t.Errorf("no dual bound reported: %+v", dec)
+	}
+	if dec.SolverNodes != 0 {
+		t.Errorf("decomposed decision still explored %d MILP nodes", dec.SolverNodes)
+	}
+	if dec.Served <= 0 || len(dec.Sites) != 3 {
+		t.Fatalf("decision = %+v", dec)
+	}
+}
+
 func TestDecideThenRealizeRoundTrip(t *testing.T) {
 	ts := newTestServer(t)
 	var dec DecideResponse

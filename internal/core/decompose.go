@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"billcap/internal/decomp"
+	"billcap/internal/milp"
+	"billcap/internal/piecewise"
+)
+
+// routeDecomp reports whether decideSteps should take the dual-decomposition
+// path instead of the exact MILP: opted in and above the fleet-size
+// threshold. Below it the exact solver stays the oracle.
+func (s *System) routeDecomp() bool {
+	return s.opts.Decompose && len(s.models) > s.opts.decomposeThreshold()
+}
+
+func (o Options) decomposeThreshold() int {
+	if o.DecomposeThreshold <= 0 {
+		return 20
+	}
+	return o.DecomposeThreshold
+}
+
+// decompOptions maps the per-solve MILP options onto the decomposition
+// loop: deadline, cancellation, worker-pool bound and LP core carry over.
+func (s *System) decompOptions(so milp.Options) decomp.Options {
+	return decomp.Options{
+		Workers:  so.Workers,
+		Deadline: so.Deadline,
+		Cancel:   so.Cancel,
+		LPCore:   so.LPCore,
+	}
+}
+
+// decompSites converts the hour into decomposition form, one site at a time:
+// each reachable power segment from the piecewise plan becomes a load
+// interval (power p = a·λ + b inverts to λ = (p − b)/a), with cost and power
+// affine in the load. Down sites keep only their off state.
+func (s *System) decompSites(in HourInput) ([]decomp.Site, error) {
+	sites := make([]decomp.Site, len(s.models))
+	for i, sm := range s.models {
+		name := sm.site.DC.Name
+		site := decomp.Site{Name: name, CanOff: true}
+		if in.SiteDown(i) {
+			sites[i] = site
+			continue
+		}
+		plan, err := piecewise.PlanSegments(s.viewFn(i).Fn, in.DemandMW[i],
+			sm.site.DC.PowerCapMW, sm.site.DC.RoundingSlackMW())
+		if err != nil {
+			return nil, fmt.Errorf("core: site %s: %w", name, err)
+		}
+		a, b := sm.affine.A, sm.affine.B
+		for _, sp := range plan {
+			var lo, hi float64
+			if a > 0 {
+				lo = math.Max(0, (sp.Lo-b)/a)
+				hi = math.Min(sm.maxLambda, (sp.Hi-b)/a)
+			} else {
+				// Constant draw b: only the segment containing it is live,
+				// and the load is bounded by capacity alone.
+				if b < sp.Lo || b > sp.Hi {
+					continue
+				}
+				lo, hi = 0, sm.maxLambda
+			}
+			if hi < lo {
+				continue // the power segment sits outside the site's λ range
+			}
+			site.Segments = append(site.Segments, decomp.Segment{
+				Seg:    sp.Seg,
+				LoadLo: lo,
+				LoadHi: hi,
+				Cost0:  sp.Rate * b,
+				Cost1:  sp.Rate * a,
+				Power0: b,
+				Power1: a,
+				Rate:   sp.Rate,
+			})
+		}
+		sites[i] = site
+	}
+	return sites, nil
+}
+
+// decompMinCost is the decomposition drop-in for minimizeCost: serve exactly
+// lambda at minimum predicted cost. Signature-compatible with minimizeCost
+// so decideSteps can swap solvers per call site.
+func (s *System) decompMinCost(in HourInput, lambda float64, stats *SolverStats, so milp.Options, kind solveKind) (Decision, error) {
+	if err := s.ValidateInput(in); err != nil {
+		return Decision{}, err
+	}
+	if lambda < 0 || math.IsNaN(lambda) {
+		return Decision{}, fmt.Errorf("%w: negative workload %v", ErrBadInput, lambda)
+	}
+	sites, err := s.decompSites(in)
+	if err != nil {
+		return Decision{}, err
+	}
+	inst := decomp.Instance{
+		Sites:      sites,
+		Sense:      decomp.MinCostServeAll,
+		TargetLoad: lambda,
+		BudgetUSD:  math.Inf(1),
+	}
+	res, err := decomp.Solve(inst, s.decompOptions(so))
+	if err != nil {
+		return Decision{}, err
+	}
+	if stats != nil {
+		stats.addDecomp(res)
+	}
+	if res.Status == decomp.Infeasible {
+		return Decision{}, fmt.Errorf("%w: %v req/h over %d sites", ErrInfeasible, lambda, len(sites))
+	}
+	d := decisionFromDecomp(res)
+	if stats != nil {
+		d.Solver = *stats
+	}
+	return d, nil
+}
+
+// decompMaxThroughput is the decomposition drop-in for maximizeThroughput:
+// admit as much load as possible within the budget.
+func (s *System) decompMaxThroughput(in HourInput, stats *SolverStats, so milp.Options, kind solveKind) (Decision, error) {
+	if err := s.ValidateInput(in); err != nil {
+		return Decision{}, err
+	}
+	sites, err := s.decompSites(in)
+	if err != nil {
+		return Decision{}, err
+	}
+	inst := decomp.Instance{
+		Sites:      sites,
+		Sense:      decomp.MaxLoadWithinBudget,
+		TargetLoad: in.TotalLambda,
+		BudgetUSD:  in.BudgetUSD,
+		Epsilon:    s.opts.epsilon(),
+	}
+	res, err := decomp.Solve(inst, s.decompOptions(so))
+	if err != nil {
+		return Decision{}, err
+	}
+	if stats != nil {
+		stats.addDecomp(res)
+	}
+	if res.Status == decomp.Infeasible {
+		// All sites can switch off, so an empty plan is always feasible;
+		// this is a solver-level failure worth surfacing.
+		return Decision{}, fmt.Errorf("core: decomposed throughput maximization found no feasible plan")
+	}
+	d := decisionFromDecomp(res)
+	if stats != nil {
+		d.Solver = *stats
+	}
+	return d, nil
+}
+
+// decisionFromDecomp maps a recovered primal onto the capper's decision
+// shape.
+func decisionFromDecomp(res decomp.Result) Decision {
+	d := Decision{Sites: make([]SiteAlloc, len(res.Sites))}
+	for i, a := range res.Sites {
+		d.Sites[i] = SiteAlloc{
+			Lambda:         a.Load,
+			PowerMW:        a.PowerMW,
+			PriceUSDPerMWh: a.Rate,
+			CostUSD:        a.CostUSD,
+			On:             a.On,
+		}
+	}
+	d.PredictedCostUSD = res.CostUSD
+	d.Served = res.Load
+	return d
+}

@@ -35,6 +35,10 @@ type Metrics struct {
 	lpRefactorizations *obs.Counter
 	lpBasisUpdates     *obs.Counter
 
+	decompSolves     *obs.Counter
+	decompIterations *obs.Counter
+	decompGap        *obs.Gauge
+
 	predictedCost *obs.Gauge
 	servedLambda  *obs.Gauge
 	budgetBinding *obs.Gauge
@@ -70,6 +74,12 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"LU basis refactorizations performed by the sparse LP core."),
 		lpBasisUpdates: reg.Counter("billcap_lp_basis_updates_total",
 			"Eta-file basis updates performed by the sparse LP core between refactorizations."),
+		decompSolves: reg.Counter("billcap_decomp_solves_total",
+			"Step solves answered by Lagrangian dual decomposition instead of the exact MILP."),
+		decompIterations: reg.Counter("billcap_decomp_iterations_total",
+			"Subgradient iterations across dual-decomposition solves."),
+		decompGap: reg.Gauge("billcap_decomp_gap",
+			"Worst relative primal–dual gap among the last decision's decomposition solves."),
 		milpIncumbents: reg.Counter("billcap_milp_incumbents_total",
 			"Incumbent improvements found during branch-and-bound."),
 		milpSeconds: reg.Histogram("billcap_milp_seconds",
@@ -148,6 +158,11 @@ func (m *Metrics) observe(s *System, dec Decision, err error, elapsed time.Durat
 	m.milpWorkers.Set(float64(dec.Solver.Workers))
 	m.presolveFixed.Add(float64(dec.Solver.PresolveFixed))
 	m.warmstartHits.Add(float64(dec.Solver.WarmStarted))
+	m.decompSolves.Add(float64(dec.Solver.DecompSolves))
+	m.decompIterations.Add(float64(dec.Solver.DecompIterations))
+	if dec.Solver.DecompSolves > 0 {
+		m.decompGap.Set(dec.Solver.DecompGap)
+	}
 
 	m.predictedCost.Set(dec.PredictedCostUSD)
 	m.servedLambda.Set(dec.Served)

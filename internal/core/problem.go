@@ -7,6 +7,7 @@ import (
 	"math"
 	"time"
 
+	"billcap/internal/decomp"
 	"billcap/internal/lp"
 	"billcap/internal/lpparse"
 	"billcap/internal/milp"
@@ -46,6 +47,20 @@ type SolverStats struct {
 	// relaxations. Both stay 0 when the dense oracle ran the solves.
 	LPRefactorizations int
 	LPBasisUpdates     int
+	// DecompSolves counts hour solves routed to the dual-decomposition path
+	// (Options.Decompose above the fleet-size threshold); all stay 0 on the
+	// exact MILP path.
+	DecompSolves int
+	// DecompIterations is the total subgradient iterations across the
+	// decision's decomposition solves.
+	DecompIterations int
+	// DecompGap is the worst relative primal–dual gap any decomposition
+	// solve of the decision proved (0 = every solve closed its gap).
+	DecompGap float64
+	// DecompDualBound is the latest decomposition solve's Lagrangian bound:
+	// a lower bound on cost for min-cost solves, an upper bound on the
+	// throughput objective for budget-capped solves.
+	DecompDualBound float64
 }
 
 func (st *SolverStats) add(sol milp.Solution) {
@@ -68,6 +83,19 @@ func (st *SolverStats) add(sol milp.Solution) {
 	}
 }
 
+// addDecomp folds one dual-decomposition solve into the stats. The polish
+// LPs' pivots count toward LPIterations like any other relaxation work.
+func (st *SolverStats) addDecomp(r decomp.Result) {
+	st.DecompSolves++
+	st.DecompIterations += r.Iterations
+	st.LPIterations += r.LPPivots
+	st.WallTime += r.Elapsed
+	if !math.IsInf(r.Gap, 1) && r.Gap > st.DecompGap {
+		st.DecompGap = r.Gap
+	}
+	st.DecompDualBound = r.DualBound
+}
+
 // Accumulate folds another decision's stats into st (simulators and
 // hierarchical coordinators sum effort across many decisions).
 func (st *SolverStats) Accumulate(o SolverStats) {
@@ -81,6 +109,14 @@ func (st *SolverStats) Accumulate(o SolverStats) {
 	st.WarmStarted += o.WarmStarted
 	st.LPRefactorizations += o.LPRefactorizations
 	st.LPBasisUpdates += o.LPBasisUpdates
+	st.DecompSolves += o.DecompSolves
+	st.DecompIterations += o.DecompIterations
+	if o.DecompGap > st.DecompGap {
+		st.DecompGap = o.DecompGap
+	}
+	if o.DecompSolves > 0 {
+		st.DecompDualBound = o.DecompDualBound
+	}
 	if o.Workers > st.Workers {
 		st.Workers = o.Workers
 	}

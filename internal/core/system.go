@@ -93,6 +93,19 @@ type Options struct {
 	// (lp.CoreSparse, the default, or lp.CoreDense — the dense tableau
 	// retained as the correctness oracle).
 	LPCore lp.Core
+	// Decompose enables the Lagrangian dual-decomposition solve path for
+	// fleet-scale hour decisions: when the fleet exceeds DecomposeThreshold
+	// sites, decideSteps routes each step's solve to internal/decomp —
+	// per-site subproblems under dualized balance and budget rows, a
+	// subgradient loop on the two multipliers, and a greedy-plus-LP primal
+	// recovery — instead of the exact MILP. The decision then reports its
+	// proven primal–dual gap in SolverStats{DecompIterations, DecompGap,
+	// DecompDualBound}.
+	Decompose bool
+	// DecomposeThreshold is the fleet size above which Decompose routes away
+	// from the exact MILP; 0 → 20. At or below the threshold the exact
+	// branch-and-bound remains the oracle.
+	DecomposeThreshold int
 	// SolverCache enables incremental hour-over-hour solving: the MILP
 	// presolve runs before every search, the hour-invariant model skeleton is
 	// memoized (subsequent hours clone it and patch only the changed

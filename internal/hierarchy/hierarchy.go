@@ -57,18 +57,25 @@ type Coordinator struct {
 // New partitions the sites into groups of the given sizes (in order) and
 // builds one capper per group. Sizes must sum to len(dcs).
 func New(dcs []*dcmodel.Site, policies []pricing.Policy, groupSizes []int) (*Coordinator, error) {
+	if len(dcs) == 0 {
+		return nil, fmt.Errorf("hierarchy: no sites")
+	}
 	if len(dcs) != len(policies) {
 		return nil, fmt.Errorf("hierarchy: %d sites but %d policies", len(dcs), len(policies))
 	}
+	if len(groupSizes) == 0 {
+		return nil, fmt.Errorf("hierarchy: no groups for %d sites", len(dcs))
+	}
 	total := 0
-	for _, s := range groupSizes {
+	for gi, s := range groupSizes {
 		if s <= 0 {
-			return nil, fmt.Errorf("hierarchy: group size %d", s)
+			return nil, fmt.Errorf("hierarchy: group %d has size %d, want positive", gi, s)
 		}
 		total += s
 	}
 	if total != len(dcs) {
-		return nil, fmt.Errorf("hierarchy: group sizes sum to %d, have %d sites", total, len(dcs))
+		return nil, fmt.Errorf("hierarchy: %d group sizes sum to %d, have %d sites",
+			len(groupSizes), total, len(dcs))
 	}
 	c := &Coordinator{SamplePoints: 5, Chunks: 24, numSites: len(dcs)}
 	at := 0

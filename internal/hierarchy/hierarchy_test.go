@@ -2,6 +2,7 @@ package hierarchy
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"billcap/internal/core"
@@ -35,6 +36,19 @@ func TestNewValidation(t *testing.T) {
 	}
 	if _, err := New(dcs, pols, []int{3, 0, 6}); err == nil {
 		t.Error("zero group size accepted")
+	} else if !strings.Contains(err.Error(), "group 1") {
+		t.Errorf("zero-size error %q does not name the offending group", err)
+	}
+	if _, err := New(dcs, pols, []int{3, -3, 9}); err == nil {
+		t.Error("negative group size accepted")
+	}
+	// A coordinator with no sites or no groups has nothing to decide over;
+	// both used to slip through (nil/nil trivially satisfied the sum check).
+	if _, err := New(nil, nil, nil); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	if _, err := New(dcs, pols, nil); err == nil {
+		t.Error("empty group list accepted")
 	}
 	c, err := New(dcs, pols, []int{3, 3, 3})
 	if err != nil {

@@ -67,6 +67,14 @@ type SolverTrace struct {
 	// work (LU rebuilds, eta-file updates); 0 on the dense oracle.
 	LPRefactorizations int `json:"lpRefactorizations,omitempty"`
 	LPBasisUpdates     int `json:"lpBasisUpdates,omitempty"`
+	// DecompIterations / DecompGap / DecompDualBound describe the Lagrangian
+	// dual-decomposition effort when the fleet-scale path served the hour:
+	// subgradient iterations across the hour's step solves, the worst proven
+	// relative primal–dual gap, and the last dual bound. All zero on the
+	// exact-MILP path.
+	DecompIterations int     `json:"decompIterations,omitempty"`
+	DecompGap        float64 `json:"decompGap,omitempty"`
+	DecompDualBound  float64 `json:"decompDualBound,omitempty"`
 }
 
 // BudgetTrace is the carry-forward ledger state after the hour was

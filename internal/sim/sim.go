@@ -388,6 +388,10 @@ func decisionTrace(cfg Config, h int, in core.HourInput, dec core.Decision, real
 
 			LPRefactorizations: dec.Solver.LPRefactorizations,
 			LPBasisUpdates:     dec.Solver.LPBasisUpdates,
+
+			DecompIterations: dec.Solver.DecompIterations,
+			DecompGap:        dec.Solver.DecompGap,
+			DecompDualBound:  dec.Solver.DecompDualBound,
 		},
 	}
 	if dec.Degraded != core.DegradeNone {
