@@ -57,6 +57,8 @@ func main() {
 		"fleet-scale solving: route hour decisions through Lagrangian dual decomposition when the fleet exceeds -decompose-threshold sites")
 	decomposeThreshold := flag.Int("decompose-threshold", 0,
 		"fleet size above which -decompose leaves the exact MILP (0 = 20)")
+	stateDir := flag.String("state-dir", "",
+		"directory for crash-safe state (WAL + snapshots): resilient decisions are durably logged and a restart restores the degradation ladder instead of zeroing it (empty = stateless)")
 	flag.Parse()
 
 	core0, err := lp.ParseCore(*lpcore)
@@ -87,6 +89,18 @@ func main() {
 	})
 	if err != nil {
 		log.Fatalf("capperd: %v", err)
+	}
+	if *stateDir != "" {
+		info, err := srv.EnableState(*stateDir)
+		if err != nil {
+			log.Fatalf("capperd: state: %v", err)
+		}
+		if info.Restored {
+			log.Printf("capperd: restored state from %s: hour cursor %d, %d WAL entries replayed, %d WAL corruptions truncated, %d snapshot fallbacks",
+				*stateDir, info.Hour, info.WALEntriesReplayed, info.WALCorruptions, info.SnapshotFallbacks)
+		} else {
+			log.Printf("capperd: fresh state directory %s", *stateDir)
+		}
 	}
 	hs := &http.Server{
 		Handler: srv.Handler(),
@@ -127,7 +141,13 @@ func main() {
 		if err := hs.Shutdown(sctx); err != nil {
 			log.Printf("capperd: drain timed out: %v", err)
 			_ = hs.Close()
+			if cerr := srv.CloseState(); cerr != nil {
+				log.Printf("capperd: state close: %v", cerr)
+			}
 			os.Exit(1)
+		}
+		if err := srv.CloseState(); err != nil {
+			log.Printf("capperd: state close: %v", err)
 		}
 		log.Printf("capperd: drained, bye")
 	}

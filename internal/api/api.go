@@ -59,6 +59,9 @@ type Server struct {
 	mux       *http.ServeMux
 	reg       *obs.Registry
 	metrics   *httpMetrics
+	// state, when non-nil (see EnableState), persists every resilient
+	// decision so a restart resumes the ladder instead of zeroing it.
+	state *stateLayer
 
 	draining       atomic.Bool
 	consecDegraded atomic.Int64
@@ -196,12 +199,25 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if n := s.consecDegraded.Load(); n >= maxConsecutiveDegraded {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		body := map[string]any{
 			"status": "degraded", "consecutiveDegradedDecisions": n,
-		})
+		}
+		s.addRestoreStatus(body)
+		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	body := map[string]any{"status": "ready"}
+	s.addRestoreStatus(body)
+	writeJSON(w, http.StatusOK, body)
+}
+
+// addRestoreStatus attaches what the state layer recovered at startup, so an
+// operator checking /readyz after a restart sees whether the ladder resumed
+// and whether any corruption was truncated on the way.
+func (s *Server) addRestoreStatus(body map[string]any) {
+	if s.state != nil {
+		body["restore"] = s.state.info
+	}
 }
 
 // SiteInfo is the inventory entry of /v1/sites.
@@ -422,6 +438,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	if req.Resilient {
 		dec = s.resilient.DecideCtx(ctx, in)
 		s.noteRung(dec.Degraded)
+		s.persistDecision(in.Hour)
 	} else {
 		var err error
 		dec, err = s.sys.DecideHourCtx(ctx, in)

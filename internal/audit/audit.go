@@ -1,0 +1,147 @@
+// Package audit is an independent feasibility check for capping decisions.
+// The optimizer's answer is "feasible within gap" by its own arithmetic; a
+// wrong-but-plausible allocation — over a supplier power cap, priced off the
+// wrong tariff band, or quietly over budget — is worse than a declared
+// failure, because it violates the contract the whole system exists to keep.
+// This package therefore re-derives every claim from first principles with no
+// solver code shared: plain float arithmetic over the site models and a
+// pricing closure, nothing imported from the MILP, LP or decomposition
+// packages. A rejection is a reason to demote down the degradation ladder,
+// never a reason to crash the hour.
+package audit
+
+import (
+	"fmt"
+	"math"
+)
+
+// relTol is the relative slack granted to every numeric comparison: the
+// solver works in floating point and its answers are honest to ~1e-9; an
+// audit stricter than the arithmetic would reject correct plans.
+const relTol = 1e-6
+
+// priceGrace is how far below the claimed operating point the auditor will
+// re-evaluate the tariff when the claimed rate disagrees: the planner
+// deliberately prices loads an epsilon inside their half-open price band, so
+// a load sitting exactly on a band boundary may legitimately carry the rate
+// of the band just below.
+const priceGrace = 2e-6
+
+// Site is the auditor's independent copy of one data center's physics: the
+// affine power model, the SLA throughput limit, the supplier cap, and the
+// tariff as an opaque closure (total draw in MW → $/MWh).
+type Site struct {
+	MaxLambda   float64 // SLA admission limit, requests/hour
+	MWPerLambda float64 // affine power model slope (A)
+	IdleMW      float64 // affine power model intercept (B)
+	PowerCapMW  float64 // supplier contract cap
+	SlackMW     float64 // rounding slack the planner may use above the cap
+	DemandMW    float64 // non-IT draw already on the meter this hour
+	Down        bool    // site is out this hour: any load on it is a violation
+	Price       func(totalMW float64) float64
+}
+
+// Claim is what the solver asserts for one site.
+type Claim struct {
+	Lambda  float64
+	PowerMW float64
+	Rate    float64 // $/MWh the solver priced the site at
+	CostUSD float64
+	On      bool
+}
+
+// Input is the hour's contract: the load to place and the money to place it
+// with.
+type Input struct {
+	TotalLambda   float64
+	PremiumLambda float64
+	BudgetUSD     float64
+	// ServeAll marks the cost-min branch, whose feasibility claim includes
+	// serving the entire arrival rate — a shortfall there is a wrong answer
+	// even if every site-level constraint holds.
+	ServeAll bool
+	// BudgetExempt marks the mandatory-premium branches (premium-only and
+	// over-capacity), where the paper requires overrunning the budget rather
+	// than dropping premium load; the budget row is advisory there.
+	BudgetExempt bool
+}
+
+// Check verifies a claimed allocation against the site models and the hour's
+// contract. It returns nil when every constraint holds within tolerance, and
+// a single descriptive error naming the first violated constraint otherwise.
+func Check(sites []Site, claims []Claim, in Input) error {
+	if len(claims) != len(sites) {
+		return fmt.Errorf("audit: %d site claims for %d sites", len(claims), len(sites))
+	}
+
+	var servedLambda, totalCost float64
+	for i, c := range claims {
+		s := sites[i]
+		if bad(c.Lambda) || bad(c.PowerMW) || bad(c.Rate) || bad(c.CostUSD) {
+			return fmt.Errorf("audit: site %d: non-finite claim λ=%v p=%v rate=%v cost=%v",
+				i, c.Lambda, c.PowerMW, c.Rate, c.CostUSD)
+		}
+		if c.Lambda < 0 || c.PowerMW < 0 || c.Rate < 0 || c.CostUSD < 0 {
+			return fmt.Errorf("audit: site %d: negative claim λ=%v p=%v rate=%v cost=%v",
+				i, c.Lambda, c.PowerMW, c.Rate, c.CostUSD)
+		}
+		if !c.On {
+			if c.Lambda > 0 || c.PowerMW > 0 || c.CostUSD > 0 {
+				return fmt.Errorf("audit: site %d: off but carries λ=%v p=%v cost=%v",
+					i, c.Lambda, c.PowerMW, c.CostUSD)
+			}
+			continue
+		}
+		if s.Down {
+			return fmt.Errorf("audit: site %d: loaded while down", i)
+		}
+		if c.Lambda > s.MaxLambda*(1+relTol)+relTol {
+			return fmt.Errorf("audit: site %d: λ=%v exceeds SLA limit %v", i, c.Lambda, s.MaxLambda)
+		}
+		wantP := s.MWPerLambda*c.Lambda + s.IdleMW
+		if !close2(c.PowerMW, wantP) {
+			return fmt.Errorf("audit: site %d: claimed power %v MW, model says %v MW", i, c.PowerMW, wantP)
+		}
+		if c.PowerMW > s.PowerCapMW+s.SlackMW+relTol*(1+s.PowerCapMW) {
+			return fmt.Errorf("audit: site %d: power %v MW over supplier cap %v MW (+%v slack)",
+				i, c.PowerMW, s.PowerCapMW, s.SlackMW)
+		}
+		if s.Price != nil {
+			load := s.DemandMW + c.PowerMW
+			grace := priceGrace * (1 + load)
+			if !close2(c.Rate, s.Price(load)) && !close2(c.Rate, s.Price(math.Max(0, load-grace))) {
+				return fmt.Errorf("audit: site %d: claimed rate %v $/MWh, tariff says %v at %v MW",
+					i, c.Rate, s.Price(load), load)
+			}
+		}
+		if !close2(c.CostUSD, c.Rate*c.PowerMW) {
+			return fmt.Errorf("audit: site %d: claimed cost %v, rate×power says %v", i, c.CostUSD, c.Rate*c.PowerMW)
+		}
+		servedLambda += c.Lambda
+		totalCost += c.CostUSD
+	}
+
+	// A +Inf budget is the legitimate "uncapped" sentinel; anything else
+	// non-finite is corrupt.
+	if bad(in.TotalLambda) || math.IsNaN(in.BudgetUSD) || math.IsInf(in.BudgetUSD, -1) {
+		return fmt.Errorf("audit: non-finite input λ=%v budget=%v", in.TotalLambda, in.BudgetUSD)
+	}
+	slack := relTol * (1 + in.TotalLambda)
+	if servedLambda > in.TotalLambda+slack {
+		return fmt.Errorf("audit: served %v exceeds arrivals %v", servedLambda, in.TotalLambda)
+	}
+	if in.ServeAll && servedLambda < in.TotalLambda-slack {
+		return fmt.Errorf("audit: cost-min branch served %v of %v arrivals", servedLambda, in.TotalLambda)
+	}
+	if !in.BudgetExempt && totalCost > in.BudgetUSD*(1+relTol)+relTol {
+		return fmt.Errorf("audit: cost %v over budget %v", totalCost, in.BudgetUSD)
+	}
+	return nil
+}
+
+func bad(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
+
+// close2 is symmetric relative-tolerance equality with an absolute floor.
+func close2(a, b float64) bool {
+	return math.Abs(a-b) <= relTol*(1+math.Max(math.Abs(a), math.Abs(b)))
+}

@@ -6,6 +6,7 @@ package budget
 
 import (
 	"fmt"
+	"math"
 
 	"billcap/internal/timeseries"
 )
@@ -111,6 +112,65 @@ func (b *Budgeter) Record(spentUSD float64) error {
 	}
 	b.metrics.sync(b)
 	return nil
+}
+
+// State is the budgeter's durable ledger: everything a restarted controller
+// needs to continue the budgeting period exactly where the crashed one
+// stopped. It round-trips through JSON for the crash-safe WAL/snapshot layer
+// (internal/state).
+type State struct {
+	MonthlyUSD float64   `json:"monthlyUSD"`
+	SharesUSD  []float64 `json:"sharesUSD"`
+	PoolUSD    float64   `json:"poolUSD"`
+	NextHour   int       `json:"nextHour"`
+	SpentUSD   float64   `json:"spentUSD"`
+	Violations int       `json:"violations"`
+}
+
+// Snapshot captures the ledger. The shares slice is copied, so the snapshot
+// stays valid while the budgeter keeps recording.
+func (b *Budgeter) Snapshot() State {
+	return State{
+		MonthlyUSD: b.monthly,
+		SharesUSD:  append([]float64(nil), b.shares...),
+		PoolUSD:    b.pool,
+		NextHour:   b.next,
+		SpentUSD:   b.spent,
+		Violations: b.violations,
+	}
+}
+
+// Restore rebuilds a budgeter from a snapshot, validating every field — a
+// checkpoint that survived a crash may still be stale or hand-edited, and a
+// corrupt ledger must fail loudly rather than silently misbudget the month.
+func Restore(st State) (*Budgeter, error) {
+	switch {
+	case math.IsNaN(st.MonthlyUSD) || st.MonthlyUSD < 0:
+		return nil, fmt.Errorf("budget: restore: bad monthly budget %v", st.MonthlyUSD)
+	case len(st.SharesUSD) == 0:
+		return nil, fmt.Errorf("budget: restore: empty shares")
+	case st.NextHour < 0 || st.NextHour > len(st.SharesUSD):
+		return nil, fmt.Errorf("budget: restore: hour cursor %d outside [0, %d]", st.NextHour, len(st.SharesUSD))
+	case math.IsNaN(st.PoolUSD) || math.IsInf(st.PoolUSD, 0):
+		return nil, fmt.Errorf("budget: restore: bad pool %v", st.PoolUSD)
+	case math.IsNaN(st.SpentUSD) || st.SpentUSD < 0:
+		return nil, fmt.Errorf("budget: restore: bad spend %v", st.SpentUSD)
+	case st.Violations < 0:
+		return nil, fmt.Errorf("budget: restore: negative violation count %d", st.Violations)
+	}
+	for h, v := range st.SharesUSD {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return nil, fmt.Errorf("budget: restore: bad share %v at hour %d", v, h)
+		}
+	}
+	return &Budgeter{
+		monthly:    st.MonthlyUSD,
+		shares:     append(timeseries.Series(nil), st.SharesUSD...),
+		pool:       st.PoolUSD,
+		next:       st.NextHour,
+		spent:      st.SpentUSD,
+		violations: st.Violations,
+	}, nil
 }
 
 // Pool returns the current within-week carryover (negative after a

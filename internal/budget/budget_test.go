@@ -1,8 +1,11 @@
 package budget
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -237,5 +240,180 @@ func TestHourlyBudgetZeroAfterExhaustion(t *testing.T) {
 	}
 	if got := b.HourlyBudget(); got != 0 {
 		t.Errorf("HourlyBudget after exhaustion = %v, want 0", got)
+	}
+}
+
+func TestRestoredDeficitCarriesWithinWeek(t *testing.T) {
+	// A crash must not forgive a mid-week overrun: the restored budgeter owes
+	// the same deficit to the rest of the week as one that never crashed.
+	live, _ := New(1000, uniformPred(HoursPerWeek*2))
+	twin, _ := New(1000, uniformPred(HoursPerWeek*2))
+	spends := []float64{0, 30, 0, 9} // hour 1 overruns its ~2.98 share hard
+	for _, s := range spends {
+		if err := live.Record(s); err != nil {
+			t.Fatal(err)
+		}
+		if err := twin.Record(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if live.Pool() >= 0 {
+		t.Fatalf("test needs a deficit pool, got %v", live.Pool())
+	}
+
+	restored, err := Restore(live.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := restored.Pool(), twin.Pool(); got != want {
+		t.Errorf("restored pool %v, want %v", got, want)
+	}
+	if got, want := restored.HourlyBudget(), twin.HourlyBudget(); got != want {
+		t.Errorf("restored HourlyBudget %v, want %v", got, want)
+	}
+	// The deficit keeps suppressing hourly budgets until the shares pay it
+	// off, exactly as on the uncrashed twin.
+	for h := len(spends); h < HoursPerWeek; h++ {
+		if restored.HourlyBudget() != twin.HourlyBudget() {
+			t.Fatalf("hour %d: restored budget %v, twin %v", h, restored.HourlyBudget(), twin.HourlyBudget())
+		}
+		if err := restored.Record(0); err != nil {
+			t.Fatal(err)
+		}
+		if err := twin.Record(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Week boundary: both reset the pool.
+	if restored.Pool() != 0 || twin.Pool() != 0 {
+		t.Errorf("pools after week boundary: restored %v, twin %v, want 0", restored.Pool(), twin.Pool())
+	}
+}
+
+func TestRestoredExhaustedPeriodStaysExhausted(t *testing.T) {
+	// The round-trip extension of TestHourlyBudgetZeroAfterExhaustion: an
+	// exhausted ledger must come back exhausted — no budget for a phantom
+	// next hour, and Record still refuses.
+	b, _ := New(10, uniformPred(2))
+	if err := b.Record(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Record(1); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(b.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.HourlyBudget(); got != 0 {
+		t.Errorf("restored HourlyBudget after exhaustion = %v, want 0", got)
+	}
+	if err := restored.Record(1); err == nil {
+		t.Error("restored exhausted budgeter accepted another hour")
+	}
+	if got, want := restored.Spent(), b.Spent(); got != want {
+		t.Errorf("restored spent %v, want %v", got, want)
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	good := func() State {
+		b, _ := New(100, uniformPred(4))
+		b.Record(10)
+		return b.Snapshot()
+	}
+	cases := map[string]func(*State){
+		"NaN monthly":     func(st *State) { st.MonthlyUSD = math.NaN() },
+		"negative spend":  func(st *State) { st.SpentUSD = -1 },
+		"empty shares":    func(st *State) { st.SharesUSD = nil },
+		"cursor past end": func(st *State) { st.NextHour = len(st.SharesUSD) + 1 },
+		"negative cursor": func(st *State) { st.NextHour = -1 },
+		"Inf pool":        func(st *State) { st.PoolUSD = math.Inf(1) },
+		"NaN share":       func(st *State) { st.SharesUSD[2] = math.NaN() },
+	}
+	for name, corrupt := range cases {
+		st := good()
+		corrupt(&st)
+		if _, err := Restore(st); err == nil {
+			t.Errorf("%s: corrupt ledger accepted", name)
+		}
+	}
+}
+
+// TestCrashReplayIndistinguishable is the property the WAL layer builds on:
+// snapshot at any point of any spend sequence, restore, replay the remaining
+// spends — the final ledger must be byte-identical (JSON of State) to one
+// that never crashed.
+func TestCrashReplayIndistinguishable(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		hours := 1 + r.Intn(3*HoursPerWeek)
+		pred := make(timeseries.Series, hours)
+		for i := range pred {
+			pred[i] = r.Float64() * 10
+		}
+		monthly := r.Float64() * 1e6
+		spends := make([]float64, hours)
+		for i := range spends {
+			spends[i] = r.Float64() * monthly / float64(hours) * 2
+		}
+		crashAt := r.Intn(hours + 1)
+
+		uncrashed, err := New(monthly, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crashed, err := New(monthly, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range spends {
+			if err := uncrashed.Record(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, s := range spends[:crashAt] {
+			if err := crashed.Record(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap, err := json.Marshal(crashed.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st State
+		if err := json.Unmarshal(snap, &st); err != nil {
+			t.Fatal(err)
+		}
+		restored, err := Restore(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range spends[crashAt:] {
+			if err := restored.Record(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a, err := json.Marshal(uncrashed.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(restored.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Logf("seed %d crashAt %d:\nuncrashed %s\nrestored  %s", seed, crashAt, a, b)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Values:   func(vs []reflect.Value, _ *rand.Rand) { vs[0] = reflect.ValueOf(rng.Int63()) },
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
 	}
 }

@@ -19,9 +19,10 @@ type Metrics struct {
 	decideDegraded *obs.CounterVec
 	decideSeconds  *obs.Histogram
 
-	fallbackUsed   *obs.Counter
-	solverTimeouts *obs.Counter
-	staleDecisions *obs.Counter
+	fallbackUsed    *obs.Counter
+	solverTimeouts  *obs.Counter
+	staleDecisions  *obs.Counter
+	auditRejections *obs.Counter
 
 	milpSolves     *obs.Counter
 	milpNodes      *obs.Counter
@@ -66,6 +67,8 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"MILP solves that hit their wall-clock deadline and answered with an incumbent."),
 		staleDecisions: reg.Counter("billcap_stale_decisions_total",
 			"Decisions reusing a last-known-good plan because both solvers failed."),
+		auditRejections: reg.Counter("billcap_audit_rejections_total",
+			"Solver answers rejected by the independent feasibility audit."),
 
 		milpSolves: reg.Counter("billcap_milp_solves_total", "MILP solves issued by the two-step algorithm."),
 		milpNodes:  reg.Counter("billcap_milp_nodes_total", "Branch-and-bound nodes explored."),
@@ -119,12 +122,21 @@ func (m *Metrics) RecordDegraded(d Degrade) {
 		return
 	}
 	switch d {
-	case DegradeFallback:
+	case DegradeFallback, DegradeAudit:
 		m.fallbackUsed.Inc()
 	case DegradeStale:
 		m.staleDecisions.Inc()
 	}
 	m.decideDegraded.With(d.String()).Inc()
+}
+
+// RecordAuditRejection counts an independent-audit rejection of a solver
+// answer, whatever rung ultimately produced the hour's plan. Nil-safe.
+func (m *Metrics) RecordAuditRejection() {
+	if m == nil {
+		return
+	}
+	m.auditRejections.Inc()
 }
 
 // SetMetrics attaches (or, with nil, detaches) instrumentation to the

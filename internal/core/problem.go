@@ -185,6 +185,12 @@ const (
 	// DegradeFallback: the MILP failed (panic, error, forced fault) and the
 	// greedy dispatcher produced the plan.
 	DegradeFallback
+	// DegradeAudit: the MILP/decomp path answered, but the independent
+	// feasibility audit rejected the allocation (capacity, balance, budget or
+	// NaN violation); the greedy dispatcher's plan was used instead. Same
+	// answer quality as DegradeFallback, but the cause — a wrong-but-plausible
+	// solver answer — is worth distinguishing in traces and metrics.
+	DegradeAudit
 	// DegradeStale: both solvers failed; a recent last-known-good decision
 	// was reused within the staleness bound.
 	DegradeStale
@@ -202,6 +208,8 @@ func (d Degrade) String() string {
 		return "time-limit"
 	case DegradeFallback:
 		return "fallback"
+	case DegradeAudit:
+		return "audit-reject"
 	case DegradeStale:
 		return "stale"
 	case DegradeShed:

@@ -2,6 +2,8 @@ package core
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -56,6 +58,7 @@ type Resilient struct {
 	haveBudget   bool
 	failSolver   map[int]bool
 	failFallback map[int]bool
+	failAudit    map[int]bool
 }
 
 // NewResilient wraps sys in the ladder.
@@ -66,6 +69,7 @@ func NewResilient(sys *System, opts ResilientOptions) *Resilient {
 		lastGoodHour: math.MinInt32,
 		failSolver:   map[int]bool{},
 		failFallback: map[int]bool{},
+		failAudit:    map[int]bool{},
 	}
 }
 
@@ -87,6 +91,15 @@ func (r *Resilient) InjectFallbackFailure(hour int) {
 	r.failFallback[hour] = true
 }
 
+// InjectAuditFailure forces the feasibility audit to reject the MILP rung's
+// answer at the given hour, exercising the audit-demotion path without
+// needing a solver that actually answers wrong.
+func (r *Resilient) InjectAuditFailure(hour int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.failAudit[hour] = true
+}
+
 // Decide runs the ladder for one hour. It is total: it always returns a
 // decision (possibly the zero "shed" decision) and never panics.
 func (r *Resilient) Decide(in HourInput) Decision {
@@ -102,17 +115,27 @@ func (r *Resilient) DecideCtx(ctx context.Context, in HourInput) Decision {
 
 	in = r.sanitize(in)
 
+	audited := false
 	if !r.failSolver[in.Hour] {
-		if dec, err := r.tryMILP(ctx, in); err == nil {
+		dec, err := r.solveSupervised(ctx, in)
+		if err == nil {
 			r.remember(in.Hour, dec)
 			return dec
+		}
+		if errors.Is(err, errAuditRejected) {
+			audited = true
+			r.sys.Metrics().RecordAuditRejection()
 		}
 	}
 
 	if !r.failFallback[in.Hour] {
 		if dec, ok := r.tryGreedy(in); ok {
-			dec.Degraded = DegradeFallback
-			r.sys.Metrics().RecordDegraded(DegradeFallback)
+			rung := DegradeFallback
+			if audited {
+				rung = DegradeAudit
+			}
+			dec.Degraded = rung
+			r.sys.Metrics().RecordDegraded(rung)
 			r.remember(in.Hour, dec)
 			return dec
 		}
@@ -307,6 +330,137 @@ func stepFor(in HourInput, d Decision) Step {
 	default:
 		return StepOverCapacity
 	}
+}
+
+// ResilientState is the ladder's durable state: the last-known-good decision
+// the stale rung replays after a restart, plus the sanitizer's last pristine
+// feed values. It round-trips through JSON for the crash-safe checkpoint
+// layer (internal/state). Fault-injection maps are deliberately excluded —
+// injected faults are a property of a test run, not of the controller.
+type ResilientState struct {
+	LastGood     *Decision `json:"lastGood,omitempty"`
+	LastGoodHour int       `json:"lastGoodHour"`
+	LastDemand   []float64 `json:"lastDemand,omitempty"`
+	LastBudget   float64   `json:"lastBudget"`
+	HaveBudget   bool      `json:"haveBudget"`
+}
+
+// resilientStateJSON is the wire form: JSON has no +Inf, so the sanitizer's
+// uncapped-budget sentinel travels as a flag instead of killing the marshal.
+type resilientStateJSON struct {
+	LastGood       *Decision `json:"lastGood,omitempty"`
+	LastGoodHour   int       `json:"lastGoodHour"`
+	LastDemand     []float64 `json:"lastDemand,omitempty"`
+	LastBudget     float64   `json:"lastBudget"`
+	BudgetUncapped bool      `json:"budgetUncapped,omitempty"`
+	HaveBudget     bool      `json:"haveBudget"`
+}
+
+// MarshalJSON encodes the state, folding a +Inf last budget into the
+// budgetUncapped flag.
+func (st ResilientState) MarshalJSON() ([]byte, error) {
+	w := resilientStateJSON{
+		LastGood:     st.LastGood,
+		LastGoodHour: st.LastGoodHour,
+		LastDemand:   st.LastDemand,
+		LastBudget:   st.LastBudget,
+		HaveBudget:   st.HaveBudget,
+	}
+	if math.IsInf(st.LastBudget, 1) {
+		w.LastBudget = 0
+		w.BudgetUncapped = true
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes the wire form, restoring the +Inf sentinel.
+func (st *ResilientState) UnmarshalJSON(b []byte) error {
+	var w resilientStateJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*st = ResilientState{
+		LastGood:     w.LastGood,
+		LastGoodHour: w.LastGoodHour,
+		LastDemand:   w.LastDemand,
+		LastBudget:   w.LastBudget,
+		HaveBudget:   w.HaveBudget,
+	}
+	if w.BudgetUncapped {
+		st.LastBudget = math.Inf(1)
+	}
+	return nil
+}
+
+// Snapshot captures the ladder state. Slices are deep-copied so the snapshot
+// stays valid while the ladder keeps deciding.
+func (r *Resilient) Snapshot() ResilientState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := ResilientState{
+		LastGoodHour: r.lastGoodHour,
+		LastBudget:   r.lastBudget,
+		HaveBudget:   r.haveBudget,
+	}
+	if r.lastGood != nil {
+		cp := *r.lastGood
+		cp.Sites = append([]SiteAlloc(nil), r.lastGood.Sites...)
+		st.LastGood = &cp
+	}
+	if r.lastDemand != nil {
+		st.LastDemand = append([]float64(nil), r.lastDemand...)
+	}
+	return st
+}
+
+// Restore replaces the ladder state with a snapshot, validating arity and
+// finiteness against the wrapped system — a checkpoint from a different fleet
+// must fail loudly, not feed the stale rung a wrong-shaped plan.
+func (r *Resilient) Restore(st ResilientState) error {
+	n := len(r.sys.Sites)
+	if st.LastGood != nil && len(st.LastGood.Sites) != n {
+		return fmt.Errorf("core: restore: last-good decision has %d sites, system has %d", len(st.LastGood.Sites), n)
+	}
+	if st.LastDemand != nil && len(st.LastDemand) != n {
+		return fmt.Errorf("core: restore: last demand has %d sites, system has %d", len(st.LastDemand), n)
+	}
+	for i, v := range st.LastDemand {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("core: restore: bad demand %v at site %d", v, i)
+		}
+	}
+	// +Inf is the legitimate "uncapped" sentinel the sanitizer may have seen.
+	if math.IsNaN(st.LastBudget) || math.IsInf(st.LastBudget, -1) || st.LastBudget < 0 {
+		return fmt.Errorf("core: restore: bad budget %v", st.LastBudget)
+	}
+	if st.LastGood != nil {
+		for i, a := range st.LastGood.Sites {
+			if math.IsNaN(a.Lambda) || math.IsInf(a.Lambda, 0) || a.Lambda < 0 ||
+				math.IsNaN(a.PowerMW) || math.IsInf(a.PowerMW, 0) || a.PowerMW < 0 {
+				return fmt.Errorf("core: restore: bad allocation at site %d", i)
+			}
+		}
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st.LastGood != nil {
+		cp := *st.LastGood
+		cp.Sites = append([]SiteAlloc(nil), st.LastGood.Sites...)
+		r.lastGood = &cp
+		r.lastGoodHour = st.LastGoodHour
+	} else {
+		r.lastGood = nil
+		r.lastGoodHour = math.MinInt32
+	}
+	if st.LastDemand != nil {
+		r.lastDemand = append([]float64(nil), st.LastDemand...)
+	} else {
+		r.lastDemand = nil
+	}
+	r.lastBudget = st.LastBudget
+	r.haveBudget = st.HaveBudget
+	return nil
 }
 
 // remember stores a successful decision as the stale rung's reserve.

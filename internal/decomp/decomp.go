@@ -435,7 +435,7 @@ func Solve(inst Instance, opt Options) (Result, error) {
 	}
 
 	res := Result{Status: GapLimit}
-	rec := &recoverer{inst: &inst, core: opt.LPCore}
+	rec := &recoverer{inst: &inst, core: opt.LPCore, expired: expired}
 
 	// Bootstrap a feasible primal from the minimal state (everything off or
 	// at its cheapest mandatory minimum), greedily filled and polished —

@@ -199,6 +199,26 @@ func TestDeadlineAndCancelStopTheLoop(t *testing.T) {
 	}
 }
 
+// TestCancelStopsPrimalRecovery pins the recovery path's deadline contract:
+// the bootstrap primal (which runs before the first loop-top expiry check)
+// must not polish after Cancel has fired. Before recovery honored Cancel,
+// this test failed with Polishes >= 1.
+func TestCancelStopsPrimalRecovery(t *testing.T) {
+	fi := milp.NewPaperFleet(30, 3)
+	done := make(chan struct{})
+	close(done)
+	res, err := Solve(FromFleet(fi), Options{Cancel: done, GapTol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Polishes != 0 {
+		t.Errorf("cancelled solve still ran %d polish LPs", res.Polishes)
+	}
+	if res.LPPivots != 0 {
+		t.Errorf("cancelled solve still ran %d LP pivots", res.LPPivots)
+	}
+}
+
 func TestWorkerPoolMatchesSequential(t *testing.T) {
 	// The pool only changes who evaluates the subproblems, never the math:
 	// identical instances must give identical iterates and results.

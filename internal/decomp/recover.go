@@ -35,11 +35,17 @@ func (c candidate) betterThan(o candidate, maxSense bool) bool {
 // entries, partial within-segment extensions), then polish the continuous
 // loads with a tiny LP on the chosen segments.
 type recoverer struct {
-	inst     *Instance
-	core     lp.Core
+	inst *Instance
+	core lp.Core
+	// expired, when non-nil, reports that the solve's deadline or Cancel has
+	// fired: recovery then bails out of the greedy fill and skips the polish
+	// LP, so a primal pass in flight cannot overrun the hour's budget.
+	expired  func() bool
 	pivots   int
 	polishes int
 }
+
+func (r *recoverer) done() bool { return r.expired != nil && r.expired() }
 
 func (r *recoverer) balTol() float64 { return 1e-7 * (1 + math.Abs(r.inst.TargetLoad)) }
 func (r *recoverer) budTol() float64 {
@@ -112,9 +118,13 @@ func (r *recoverer) recoverFrom(st []sel) (candidate, bool) {
 	r.trim(st)
 	r.fill(st)
 	cand, ok := r.candidateFrom(st)
-	if pol, pok := r.polish(st); pok {
-		if !ok || pol.betterThan(cand, inst.Sense == MaxLoadWithinBudget) {
-			cand, ok = pol, true
+	// The polish LP is the expensive half of recovery; past the deadline the
+	// greedy plan (already validated above) is the answer.
+	if !r.done() {
+		if pol, pok := r.polish(st); pok {
+			if !ok || pol.betterThan(cand, inst.Sense == MaxLoadWithinBudget) {
+				cand, ok = pol, true
+			}
 		}
 	}
 	return cand, ok
@@ -354,6 +364,12 @@ func (r *recoverer) fill(st []sel) {
 	// headroom; the min-cost overshoot pass revisits the smallest one.
 	var deferred []move
 	for len(h) > 0 {
+		if r.done() {
+			// Deadline fired mid-fill: stop with what is placed so far. A
+			// partial fill is feasible for max-load (just less of it) and is
+			// rejected by candidateFrom for min-cost, both safe.
+			return
+		}
 		if useBal && load >= inst.TargetLoad-r.balTol() {
 			break
 		}

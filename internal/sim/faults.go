@@ -34,6 +34,9 @@ type Faults struct {
 	SolverFailures map[int]bool
 	// FallbackFailures additionally forces the greedy rung to fail.
 	FallbackFailures map[int]bool
+	// AuditFailures forces the independent feasibility audit to reject the
+	// solver's answer for the hour — the "wrong-but-plausible solve" fault.
+	AuditFailures map[int]bool
 }
 
 // FaultSink is implemented by deciders that accept forced rung failures —
@@ -41,6 +44,7 @@ type Faults struct {
 type FaultSink interface {
 	InjectSolverFailure(hour int)
 	InjectFallbackFailure(hour int)
+	InjectAuditFailure(hour int)
 }
 
 // ChaosFaults draws a reproducible random fault schedule over the given
@@ -57,6 +61,7 @@ func ChaosFaults(seed int64, hours, sites int) *Faults {
 		ForecastBursts:   map[int]float64{},
 		SolverFailures:   map[int]bool{},
 		FallbackFailures: map[int]bool{},
+		AuditFailures:    map[int]bool{},
 	}
 	for h := 0; h < hours; h++ {
 		if sites > 0 && rng.Float64() < 0.02 {
@@ -77,6 +82,9 @@ func ChaosFaults(seed int64, hours, sites int) *Faults {
 				f.FallbackFailures[h] = true
 			}
 		}
+		if rng.Float64() < 0.02 {
+			f.AuditFailures[h] = true
+		}
 	}
 	return f
 }
@@ -95,6 +103,9 @@ func (f *Faults) deliver(d Decider) {
 	}
 	for h := range f.FallbackFailures {
 		sink.InjectFallbackFailure(h)
+	}
+	for h := range f.AuditFailures {
+		sink.InjectAuditFailure(h)
 	}
 }
 
@@ -182,3 +193,6 @@ func (c *ResilientCapping) InjectSolverFailure(hour int) { c.ladder.InjectSolver
 
 // InjectFallbackFailure implements FaultSink.
 func (c *ResilientCapping) InjectFallbackFailure(hour int) { c.ladder.InjectFallbackFailure(hour) }
+
+// InjectAuditFailure implements FaultSink.
+func (c *ResilientCapping) InjectAuditFailure(hour int) { c.ladder.InjectAuditFailure(hour) }

@@ -12,6 +12,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -22,6 +23,7 @@ import (
 	"billcap/internal/grid"
 	"billcap/internal/obs"
 	"billcap/internal/pricing"
+	"billcap/internal/state"
 	"billcap/internal/timeseries"
 	"billcap/internal/workload"
 )
@@ -66,6 +68,20 @@ type Config struct {
 	// inputs (ground truth stays honest), and forced rung failures are
 	// delivered to deciders implementing FaultSink.
 	Faults *Faults
+	// StateDir, when non-empty, makes the run crash-safe: every recorded
+	// hour is appended to a durable WAL in the directory and checkpoints are
+	// snapshotted periodically, exactly as capperd does with -state-dir. A
+	// run over a directory with prior state resumes where the crashed run
+	// stopped — restored budget ledger, restored degradation-ladder state —
+	// instead of starting the month over. One directory serves one run at a
+	// time; do not share it across RunAll strategies.
+	StateDir string
+	// SnapshotEveryHours is the snapshot cadence within StateDir (0 → 24).
+	SnapshotEveryHours int
+	// HaltAfterHours, when > 0, simulates a SIGKILL: the run stops with
+	// ErrHalted once the hour with this absolute index has been durably
+	// recorded, leaving StateDir exactly as a dead process would.
+	HaltAfterHours int
 	// Trace, when non-nil, receives one structured decision trace per
 	// simulated hour (e.g. obs.NewJSONSink over a file). The sink must be
 	// safe for concurrent use if the config is shared by RunAll.
@@ -129,10 +145,23 @@ type HourRecord struct {
 // BillUSD is the hour's total charge.
 func (h HourRecord) BillUSD() float64 { return h.CostUSD + h.PenaltyUSD }
 
+// ErrHalted marks a run stopped by Config.HaltAfterHours — the simulated
+// SIGKILL of the crash-recovery tests. The partial Result is still returned.
+var ErrHalted = errors.New("sim: halted by fault schedule")
+
 // Result aggregates a full run.
 type Result struct {
 	Strategy string
 	Hours    []HourRecord
+
+	// StartHour is the first hour this run decided: 0 for a fresh month,
+	// the restored cursor when the run resumed from Config.StateDir.
+	StartHour int
+	// Budget is the final ledger snapshot (nil when uncapped).
+	Budget *budget.State
+	// Restore reports what the state layer recovered at startup (nil when
+	// Config.StateDir was empty).
+	Restore *state.RestoreInfo
 
 	MonthlyBudgetUSD float64
 	TotalCostUSD     float64
@@ -218,7 +247,46 @@ func Run(cfg Config, decider Decider) (Result, error) {
 
 	capped := !math.IsInf(cfg.MonthlyBudgetUSD, 1)
 	var budgeter *budget.Budgeter
-	if capped {
+	var fcState *forecast.HourOfWeekState
+	var store *state.Store
+	var rinfo *state.RestoreInfo
+	startHour := 0
+
+	if cfg.StateDir != "" {
+		st, cp, info, err := state.Open(cfg.StateDir)
+		if err != nil {
+			return Result{}, err
+		}
+		store = st
+		defer store.Close()
+		rinfo = &info
+		if cp != nil {
+			startHour = cp.Hour
+			if capped {
+				if cp.Budget == nil {
+					return Result{}, fmt.Errorf("sim: state dir %q has no budget ledger to resume from", cfg.StateDir)
+				}
+				budgeter, err = budget.Restore(*cp.Budget)
+				if err != nil {
+					return Result{}, err
+				}
+				if budgeter.Horizon() != cfg.Month.Len() {
+					return Result{}, fmt.Errorf("sim: restored ledger spans %d hours, month has %d",
+						budgeter.Horizon(), cfg.Month.Len())
+				}
+			}
+			if cp.Resilient != nil {
+				if lc, ok := decider.(ladderer); ok {
+					if err := lc.Ladder().Restore(*cp.Resilient); err != nil {
+						return Result{}, fmt.Errorf("sim: %w", err)
+					}
+				}
+			}
+			fcState = cp.Forecast
+		}
+	}
+
+	if capped && budgeter == nil {
 		hw, err := forecast.FitHourOfWeek(cfg.History.Rates)
 		if err != nil {
 			return Result{}, err
@@ -231,20 +299,24 @@ func Run(cfg Config, decider Decider) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		if cfg.Metrics != nil {
-			budgeter.SetMetrics(budget.NewMetrics(cfg.Metrics))
-		}
+		hws := hw.Snapshot()
+		fcState = &hws
+	}
+	if capped && cfg.Metrics != nil {
+		budgeter.SetMetrics(budget.NewMetrics(cfg.Metrics))
 	}
 
 	res := Result{
 		Strategy:         decider.Name(),
 		MonthlyBudgetUSD: cfg.MonthlyBudgetUSD,
+		StartHour:        startHour,
+		Restore:          rinfo,
 		StepCounts:       map[core.Step]int{},
 		DegradedHours:    map[core.Degrade]int{},
 	}
 	cfg.Faults.deliver(decider)
 	demand := make([]float64, len(cfg.DCs))
-	for h := 0; h < cfg.Month.Len(); h++ {
+	for h := startHour; h < cfg.Month.Len(); h++ {
 		lambda := cfg.Month.At(h) * cfg.Faults.burst(h)
 		premium, ordinary := workload.Split(lambda, cfg.PremiumFrac)
 		for i := range demand {
@@ -340,8 +412,55 @@ func Run(cfg Config, decider Decider) (Result, error) {
 				return Result{}, fmt.Errorf("sim: hour %d: trace: %w", h, err)
 			}
 		}
+
+		if store != nil {
+			e := state.Entry{Hour: h, SpentUSD: rec.BillUSD()}
+			if lc, ok := decider.(ladderer); ok {
+				ls := lc.Ladder().Snapshot()
+				e.Resilient = &ls
+			}
+			if err := store.Append(e); err != nil {
+				return Result{}, fmt.Errorf("sim: hour %d: %w", h, err)
+			}
+			if (h+1)%cfg.snapshotEvery() == 0 {
+				cp := state.Checkpoint{Hour: h + 1, Forecast: fcState, Resilient: e.Resilient}
+				if capped {
+					bs := budgeter.Snapshot()
+					cp.Budget = &bs
+				}
+				if err := store.WriteSnapshot(cp); err != nil {
+					return Result{}, fmt.Errorf("sim: hour %d: %w", h, err)
+				}
+			}
+		}
+		if cfg.HaltAfterHours > 0 && h+1 >= cfg.HaltAfterHours {
+			finishResult(&res, budgeter)
+			return res, ErrHalted
+		}
 	}
+	finishResult(&res, budgeter)
 	return res, nil
+}
+
+// ladderer is the seam through which the harness reaches a decider's
+// degradation ladder for checkpointing (ResilientCapping implements it).
+type ladderer interface {
+	Ladder() *core.Resilient
+}
+
+func (c Config) snapshotEvery() int {
+	if c.SnapshotEveryHours <= 0 {
+		return 24
+	}
+	return c.SnapshotEveryHours
+}
+
+// finishResult attaches the final ledger snapshot to a run's result.
+func finishResult(res *Result, budgeter *budget.Budgeter) {
+	if budgeter != nil {
+		bs := budgeter.Snapshot()
+		res.Budget = &bs
+	}
 }
 
 // zeroDownSites clears allocations to sites the hour's fault schedule took
