@@ -8,7 +8,8 @@
 //
 // Endpoints: GET /healthz, GET /readyz, GET /metrics, GET /debug/pprof/,
 // GET /v1/sites, GET /v1/policies, POST /v1/decide, POST /v1/decide/batch,
-// POST /v1/realize, POST /v1/model.
+// POST /v1/realize, POST /v1/model, POST /v1/route, POST /v1/route/batch,
+// GET /v1/route/table.
 // Example:
 //
 //	curl -s localhost:8080/v1/decide -d '{
@@ -59,6 +60,8 @@ func main() {
 		"fleet size above which -decompose leaves the exact MILP (0 = 20)")
 	stateDir := flag.String("state-dir", "",
 		"directory for crash-safe state (WAL + snapshots): resilient decisions are durably logged and a restart restores the degradation ladder instead of zeroing it (empty = stateless)")
+	driftRatio := flag.Float64("drift-ratio", 2.0,
+		"observed/predicted arrival ratio beyond which the data plane re-solves asynchronously and swaps the routing table (must be > 1; 0 disables drift re-solves)")
 	flag.Parse()
 
 	core0, err := lp.ParseCore(*lpcore)
@@ -88,6 +91,9 @@ func main() {
 		DecomposeThreshold: *decomposeThreshold,
 	})
 	if err != nil {
+		log.Fatalf("capperd: %v", err)
+	}
+	if err := srv.SetDriftRatio(*driftRatio); err != nil {
 		log.Fatalf("capperd: %v", err)
 	}
 	if *stateDir != "" {
@@ -123,6 +129,11 @@ func main() {
 	log.Printf("capperd: timeouts: readHeader=%v read=%v write=%v idle=%v decide=%v drain=%v",
 		hs.ReadHeaderTimeout, hs.ReadTimeout, hs.WriteTimeout, hs.IdleTimeout, *deadline, *drain)
 	log.Printf("capperd: solver workers: %d (0 = GOMAXPROCS = %d)", *workers, runtime.GOMAXPROCS(0))
+	if *driftRatio > 0 {
+		log.Printf("capperd: data plane: /v1/route live, drift re-solve at %.2f× predicted arrivals", *driftRatio)
+	} else {
+		log.Printf("capperd: data plane: /v1/route live, drift re-solve disabled")
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

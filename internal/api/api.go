@@ -14,6 +14,9 @@
 //	POST /v1/decide/batch  many independent hours, solved concurrently
 //	POST /v1/realize    ground-truth billing of an allocation
 //	POST /v1/model      dump the hour's MILP in lp_solve-style text
+//	POST /v1/route      admit-and-route one request on the live snapshot (O(1))
+//	POST /v1/route/batch  admit-and-route n requests in closed form
+//	GET  /v1/route/table  live routing snapshot (weights, drift posture)
 //
 // All errors — including 404s, panics and oversized bodies — use one JSON
 // envelope: {"error": "..."}. Status codes follow one contract: malformed or
@@ -59,6 +62,10 @@ type Server struct {
 	mux       *http.ServeMux
 	reg       *obs.Registry
 	metrics   *httpMetrics
+	// route is the lock-free request data plane: every decision installs an
+	// immutable routing snapshot that /v1/route and /v1/route/batch serve
+	// without locks or solving (see route.go).
+	route *RoutePlane
 	// state, when non-nil (see EnableState), persists every resilient
 	// decision so a restart resumes the ladder instead of zeroing it.
 	state *stateLayer
@@ -81,6 +88,14 @@ func New(dcs []*dcmodel.Site, policies []pricing.Policy, opts core.Options) (*Se
 		sites: dcs, policies: policies,
 		mux: http.NewServeMux(), reg: reg, metrics: newHTTPMetrics(reg),
 	}
+	names := make([]string, len(dcs))
+	for i, dc := range dcs {
+		names[i] = dc.Name
+	}
+	s.route, err = newRoutePlane(s.resilient, reg, names, defaultDriftRatio)
+	if err != nil {
+		return nil, err
+	}
 	s.handle("/healthz", s.handleHealth)
 	s.handle("/readyz", s.handleReady)
 	s.handle("/v1/sites", s.handleSites)
@@ -89,7 +104,15 @@ func New(dcs []*dcmodel.Site, policies []pricing.Policy, opts core.Options) (*Se
 	s.handle("/v1/decide/batch", s.handleDecideBatch)
 	s.handle("/v1/realize", s.handleRealize)
 	s.handle("/v1/model", s.handleModel)
-	s.handle("/metrics", obs.Handler(reg).ServeHTTP)
+	s.handle("/v1/route", s.handleRoute)
+	s.handle("/v1/route/batch", s.handleRouteBatch)
+	s.handle("/v1/route/table", s.handleRouteTable)
+	// Routing totals live in the snapshots' striped counters; fold the
+	// deltas into the registry so every scrape is current.
+	s.handle("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		s.route.FlushMetrics()
+		obs.Handler(reg).ServeHTTP(w, r)
+	})
 	// Profiling surface, on the explicit handlers (not DefaultServeMux).
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -133,6 +156,13 @@ func (s *Server) noteRung(d core.Degrade) {
 // Registry exposes the server's metrics registry so the daemon (or an
 // embedding test) can add process-level series next to the controller's.
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// RoutePlane exposes the request data plane (for the daemon and tests).
+func (s *Server) RoutePlane() *RoutePlane { return s.route }
+
+// SetDriftRatio reconfigures the data plane's drift trip ratio: 0 disables
+// drift re-solves, any other value must be finite and > 1.
+func (s *Server) SetDriftRatio(ratio float64) error { return s.route.SetDriftRatio(ratio) }
 
 type errorBody struct {
 	Error string `json:"error"`
@@ -447,6 +477,9 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Every decision refreshes the data plane (a shed decision with nothing
+	// to route leaves the previous table live).
+	s.route.Install(in, dec)
 	writeJSON(w, http.StatusOK, s.decideResponseFrom(dec))
 }
 

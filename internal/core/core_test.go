@@ -55,6 +55,25 @@ func TestValidateInput(t *testing.T) {
 	}
 }
 
+func TestScaleLoad(t *testing.T) {
+	in := HourInput{Hour: 3, TotalLambda: 100, PremiumLambda: 40, DemandMW: demand3(), BudgetUSD: 7}
+	up := in.ScaleLoad(1.5)
+	if up.TotalLambda != 150 || up.PremiumLambda != 60 {
+		t.Errorf("scaled to %v/%v", up.TotalLambda, up.PremiumLambda)
+	}
+	if up.Hour != 3 || up.BudgetUSD != 7 || len(up.DemandMW) != 3 {
+		t.Error("ScaleLoad touched non-load fields")
+	}
+	if in.TotalLambda != 100 {
+		t.Error("ScaleLoad mutated the receiver")
+	}
+	for _, f := range []float64{0, -2, math.NaN(), math.Inf(1)} {
+		if got := in.ScaleLoad(f); got.TotalLambda != 100 || got.PremiumLambda != 40 {
+			t.Errorf("ScaleLoad(%v) changed loads to %v/%v", f, got.TotalLambda, got.PremiumLambda)
+		}
+	}
+}
+
 func TestMinimizeCostServesEverything(t *testing.T) {
 	s := paperSystem(t, Options{})
 	in := HourInput{TotalLambda: 1.5e12, PremiumLambda: 1.2e12, DemandMW: demand3(), BudgetUSD: math.Inf(1)}

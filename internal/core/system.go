@@ -260,6 +260,20 @@ type HourInput struct {
 // SiteDown reports whether site i is marked unavailable.
 func (in HourInput) SiteDown(i int) bool { return i < len(in.Down) && in.Down[i] }
 
+// ScaleLoad returns a copy of the input with TotalLambda and PremiumLambda
+// multiplied by f, preserving the premium fraction — the drift re-solve's
+// way of re-posing the hour at the observed arrival rate. A non-finite or
+// non-positive factor returns the input unchanged (scaling to nothing or to
+// infinity is never a useful re-solve).
+func (in HourInput) ScaleLoad(f float64) HourInput {
+	if math.IsNaN(f) || math.IsInf(f, 0) || f <= 0 {
+		return in
+	}
+	in.TotalLambda *= f
+	in.PremiumLambda *= f
+	return in
+}
+
 // ErrBadInput marks validation failures: the request itself is malformed
 // (negative loads, NaN demand, wrong arity), as opposed to solver or model
 // failures. API layers map it to HTTP 400.

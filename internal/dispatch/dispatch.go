@@ -36,13 +36,18 @@ func NewTable(lambdas []float64) (*Table, error) {
 	}
 	total := 0.0
 	for i, l := range lambdas {
-		if l < 0 || math.IsNaN(l) {
+		if l < 0 || math.IsNaN(l) || math.IsInf(l, 0) {
 			return nil, fmt.Errorf("dispatch: bad load %v at site %d", l, i)
 		}
 		total += l
 	}
 	if total <= 0 {
 		return nil, fmt.Errorf("dispatch: all-zero allocation")
+	}
+	if math.IsInf(total, 0) {
+		// Each load is finite but the sum overflowed; weights would all
+		// collapse to 0.
+		return nil, fmt.Errorf("dispatch: total load overflows")
 	}
 	t := &Table{
 		weights: make([]float64, len(lambdas)),
@@ -100,8 +105,8 @@ type Gate struct {
 // NewGate builds the admission gate from a capper decision: served ordinary
 // over arrived ordinary. Premium is never gated.
 func NewGate(servedOrdinary, arrivedOrdinary float64) (*Gate, error) {
-	if servedOrdinary < 0 || arrivedOrdinary < 0 {
-		return nil, fmt.Errorf("dispatch: negative rates %v/%v", servedOrdinary, arrivedOrdinary)
+	if !isFiniteNonNeg(servedOrdinary) || !isFiniteNonNeg(arrivedOrdinary) {
+		return nil, fmt.Errorf("dispatch: bad rates %v/%v", servedOrdinary, arrivedOrdinary)
 	}
 	rate := 1.0
 	if arrivedOrdinary > 0 {
@@ -111,6 +116,14 @@ func NewGate(servedOrdinary, arrivedOrdinary float64) (*Gate, error) {
 		}
 	}
 	return &Gate{ordinaryRate: rate}, nil
+}
+
+// isFiniteNonNeg reports whether v is a usable rate: finite and ≥ 0. A NaN
+// slips past plain `v < 0` (every comparison with NaN is false), which
+// historically let NewGate build a gate whose NaN ordinaryRate silently
+// dropped all ordinary traffic forever.
+func isFiniteNonNeg(v float64) bool {
+	return v >= 0 && !math.IsInf(v, 0)
 }
 
 // OrdinaryRate returns the admitted fraction of ordinary traffic.

@@ -22,6 +22,45 @@ func TestNewTableValidation(t *testing.T) {
 	}
 }
 
+// TestNewTableRejectsInf is the regression test for the +Inf validation bug:
+// the `l < 0 || math.IsNaN(l)` check passed +Inf, the total became +Inf, and
+// every weight collapsed to 0 (finite/Inf) or NaN (Inf/Inf) — a table that
+// routed everything to site 0 or nowhere at all.
+func TestNewTableRejectsInf(t *testing.T) {
+	if _, err := NewTable([]float64{1e12, math.Inf(1)}); err == nil {
+		t.Fatal("+Inf load accepted")
+	}
+	if _, err := NewTable([]float64{math.Inf(1), math.Inf(1)}); err == nil {
+		t.Fatal("all-Inf loads accepted")
+	}
+	if _, err := NewTable([]float64{1, math.Inf(-1)}); err == nil {
+		t.Fatal("-Inf load accepted")
+	}
+	// Individually finite loads whose sum overflows are just as unusable.
+	if _, err := NewTable([]float64{math.MaxFloat64, math.MaxFloat64}); err == nil {
+		t.Fatal("overflowing total accepted")
+	}
+}
+
+// TestNewGateRejectsNonFinite is the regression test for the NaN validation
+// bug: `servedOrdinary < 0` is false for NaN, so the gate was built with a
+// NaN ordinaryRate and Admit silently dropped every ordinary request forever
+// (NaN credit never reaches 1).
+func TestNewGateRejectsNonFinite(t *testing.T) {
+	bad := [][2]float64{
+		{math.NaN(), 100},
+		{30, math.NaN()},
+		{math.Inf(1), 100},
+		{30, math.Inf(1)},
+		{math.Inf(-1), 100},
+	}
+	for _, c := range bad {
+		if _, err := NewGate(c[0], c[1]); err == nil {
+			t.Errorf("NewGate(%v, %v) accepted", c[0], c[1])
+		}
+	}
+}
+
 func TestRouteProportions(t *testing.T) {
 	tbl, err := NewTable([]float64{3e11, 1e11, 6e11})
 	if err != nil {

@@ -1,0 +1,99 @@
+package forecast
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestNewDriftDetectorValidation(t *testing.T) {
+	for _, r := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 1, 0.5, 0, -2} {
+		if _, err := NewDriftDetector(r); err == nil {
+			t.Errorf("ratio %v accepted", r)
+		}
+	}
+	if _, err := NewDriftDetector(1.5); err != nil {
+		t.Fatalf("ratio 1.5 rejected: %v", err)
+	}
+}
+
+func TestDriftDetectorTrips(t *testing.T) {
+	d, err := NewDriftDetector(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disarmed: never trips, whatever is observed.
+	if d.Exceeded(1e12) {
+		t.Error("disarmed detector tripped")
+	}
+	d.Arm(1000)
+	if d.Predicted() != 1000 {
+		t.Fatalf("predicted %v", d.Predicted())
+	}
+	if d.Exceeded(1000) || d.Exceeded(1500) {
+		t.Error("tripped at or below ratio×predicted")
+	}
+	if !d.Exceeded(1501) {
+		t.Error("did not trip above ratio×predicted")
+	}
+	// Re-arming at a higher prediction raises the trip point.
+	d.Arm(2000)
+	if d.Exceeded(2500) {
+		t.Error("tripped below the re-armed threshold")
+	}
+	if !d.Exceeded(3001) {
+		t.Error("did not trip above the re-armed threshold")
+	}
+}
+
+func TestDriftDetectorDisarmsOnBadPrediction(t *testing.T) {
+	d, err := NewDriftDetector(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Arm(100)
+	for _, p := range []float64{0, -5, math.NaN(), math.Inf(1)} {
+		d.Arm(p)
+		if d.Predicted() != 0 {
+			t.Errorf("Arm(%v) left predicted %v", p, d.Predicted())
+		}
+		if d.Exceeded(1e18) {
+			t.Errorf("Arm(%v) left the detector armed", p)
+		}
+		d.Arm(100)
+	}
+}
+
+// TestDriftDetectorConcurrent arms and checks from many goroutines; run
+// with -race to prove the atomics hold up on the request path.
+func TestDriftDetectorConcurrent(t *testing.T) {
+	d, err := NewDriftDetector(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Arm(50)
+	var wg sync.WaitGroup
+	trips := make([]int, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				if g == 0 && i%1000 == 0 {
+					d.Arm(50 + float64(i))
+				}
+				if d.Exceeded(float64(i)) {
+					trips[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range trips {
+		total += n
+	}
+	if total == 0 {
+		t.Error("no goroutine ever observed a trip")
+	}
+}
