@@ -9,7 +9,7 @@
 // Endpoints: GET /healthz, GET /readyz, GET /metrics, GET /debug/pprof/,
 // GET /v1/sites, GET /v1/policies, POST /v1/decide, POST /v1/decide/batch,
 // POST /v1/realize, POST /v1/model, POST /v1/route, POST /v1/route/batch,
-// GET /v1/route/table.
+// GET /v1/route/table, and with -tariff, GET /v1/tariff.
 // Example:
 //
 //	curl -s localhost:8080/v1/decide -d '{
@@ -25,12 +25,15 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -40,6 +43,37 @@ import (
 	"billcap/internal/lp"
 	"billcap/internal/pricing"
 )
+
+// parseBattery reads the -battery flag: capMWh:maxMW:eff with optional
+// :socMWh and :valueUSDPerMWh suffixes. The max charge and discharge rates
+// share one figure, matching symmetric grid-scale packs.
+func parseBattery(s string) (core.BatterySpec, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) < 3 || len(parts) > 5 {
+		return core.BatterySpec{}, fmt.Errorf("want capMWh:maxMW:eff[:socMWh[:valueUSDPerMWh]], got %q", s)
+	}
+	vals := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return core.BatterySpec{}, fmt.Errorf("field %d of %q: %v", i+1, s, err)
+		}
+		vals[i] = v
+	}
+	spec := core.BatterySpec{
+		CapacityMWh:    vals[0],
+		MaxChargeMW:    vals[1],
+		MaxDischargeMW: vals[1],
+		Efficiency:     vals[2],
+	}
+	if len(vals) > 3 {
+		spec.SoCMWh = vals[3]
+	}
+	if len(vals) > 4 {
+		spec.ValueUSDPerMWh = vals[4]
+	}
+	return spec, nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -62,6 +96,12 @@ func main() {
 		"directory for crash-safe state (WAL + snapshots): resilient decisions are durably logged and a restart restores the degradation ladder instead of zeroing it (empty = stateless)")
 	driftRatio := flag.Float64("drift-ratio", 2.0,
 		"observed/predicted arrival ratio beyond which the data plane re-solves asynchronously and swaps the routing table (must be > 1; 0 disables drift re-solves)")
+	tariff := flag.Bool("tariff", false,
+		"enable the tariff engine: the server holds the billing-period peak ledger and battery bank, serves GET /v1/tariff, and every non-override decision commits against them")
+	demandCharge := flag.Float64("demand-charge", 0,
+		"billing-period demand charge in $/MW-month, billed on each site's peak metered draw (implies -tariff)")
+	batterySpec := flag.String("battery", "",
+		"per-site battery as capMWh:maxMW:eff[:socMWh[:valueUSDPerMWh]], e.g. 40:15:0.9 — the same spec at every site (implies -tariff)")
 	flag.Parse()
 
 	core0, err := lp.ParseCore(*lpcore)
@@ -95,6 +135,26 @@ func main() {
 	}
 	if err := srv.SetDriftRatio(*driftRatio); err != nil {
 		log.Fatalf("capperd: %v", err)
+	}
+	if *tariff || *demandCharge > 0 || *batterySpec != "" {
+		var specs []core.BatterySpec
+		if *batterySpec != "" {
+			spec, err := parseBattery(*batterySpec)
+			if err != nil {
+				log.Fatalf("capperd: -battery: %v", err)
+			}
+			specs = make([]core.BatterySpec, len(dcs))
+			for i := range specs {
+				specs[i] = spec
+			}
+		}
+		// Enable before EnableState so a restart restores the peak ledger
+		// and battery charge into the live tariff position.
+		if err := srv.EnableTariff(*demandCharge, specs); err != nil {
+			log.Fatalf("capperd: tariff: %v", err)
+		}
+		log.Printf("capperd: tariff engine: demand charge %.0f $/MW-month, batteries %v, GET /v1/tariff live",
+			*demandCharge, *batterySpec != "")
 	}
 	if *stateDir != "" {
 		info, err := srv.EnableState(*stateDir)

@@ -7,7 +7,7 @@
 //	capsim -exp fig3 -weeks 1       # one experiment on a 1-week month
 //	capsim -exp fig78 -series out/  # also dump the hourly series as CSV
 //
-// Experiments: fig1 fig1derived fig3 fig4 fig56 fig78 fig9 fig10 solver ablation robustness hetero hierarchy baselines battery all.
+// Experiments: fig1 fig1derived fig3 fig4 fig56 fig78 fig9 fig10 solver ablation robustness hetero hierarchy baselines battery tariff all.
 package main
 
 import (
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig1 fig1derived fig3 fig4 fig56 fig78 fig9 fig10 solver ablation robustness hetero hierarchy baselines battery all")
+	exp := flag.String("exp", "all", "experiment to run: fig1 fig1derived fig3 fig4 fig56 fig78 fig9 fig10 solver ablation robustness hetero hierarchy baselines battery tariff all")
 	weeks := flag.Int("weeks", 4, "weeks of the evaluated month to simulate (1-4)")
 	seriesDir := flag.String("series", "", "directory to dump hourly series CSVs into (optional)")
 	format := flag.String("format", "text", "table output format: text | md | csv")
@@ -69,6 +69,7 @@ func run(exp string, weeks int, seriesDir, format string) error {
 		{"baselines", wrap(experiments.Baselines)},
 		{"battery", wrap(experiments.Battery)},
 		{"flashcrowd", wrap(experiments.FlashCrowd)},
+		{"tariff", wrap(experiments.Tariff)},
 	}
 	ran := false
 	for _, e := range all {

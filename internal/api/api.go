@@ -69,6 +69,9 @@ type Server struct {
 	// state, when non-nil (see EnableState), persists every resilient
 	// decision so a restart resumes the ladder instead of zeroing it.
 	state *stateLayer
+	// tariff, when non-nil (see EnableTariff), bills beyond plain energy
+	// charges: demand-charge peak ledger and per-site batteries.
+	tariff *tariffState
 
 	draining       atomic.Bool
 	consecDegraded atomic.Int64
@@ -333,6 +336,18 @@ type DecideRequest struct {
 	// answer may be degraded (see "degraded" in the response) but solver
 	// failures never surface as errors.
 	Resilient bool `json:"resilient,omitempty"`
+
+	// Tariff overrides (all optional). When the server runs with the tariff
+	// engine enabled (-tariff and friends), omitted fields are filled from
+	// its live position — the demand-charge rate, the peak-so-far ledger and
+	// the battery bank — and the decision commits back into that position.
+	// Supplying PeakMW or Batteries explicitly makes the request what-if:
+	// the answer reflects them but nothing is committed.
+	DemandChargeUSDPerMW float64            `json:"demandChargeUSDPerMW,omitempty"`
+	PeakMW               []float64          `json:"peakMW,omitempty"`
+	RTPriceUSDPerMWh     []float64          `json:"rtPriceUSDPerMWh,omitempty"`
+	CommitMW             []float64          `json:"commitMW,omitempty"`
+	Batteries            []core.BatterySpec `json:"batteries,omitempty"`
 }
 
 // SiteDecision is one site's share in a DecideResponse.
@@ -343,6 +358,13 @@ type SiteDecision struct {
 	PriceUSDPerMWh float64 `json:"priceUSDPerMWh"`
 	CostUSD        float64 `json:"costUSD"`
 	On             bool    `json:"on"`
+	// Tariff fields (omitted outside tariff decisions): the metered supplier
+	// draw, planned battery actions, and the cost decomposition.
+	GridMW      float64 `json:"gridMW,omitempty"`
+	ChargeMW    float64 `json:"chargeMW,omitempty"`
+	DischargeMW float64 `json:"dischargeMW,omitempty"`
+	EnergyUSD   float64 `json:"energyUSD,omitempty"`
+	DemandUSD   float64 `json:"demandUSD,omitempty"`
 }
 
 // DecideResponse is the capper's answer.
@@ -351,11 +373,17 @@ type DecideResponse struct {
 	// Degraded names the degradation rung that produced the answer
 	// ("time-limit", "fallback", "stale", "shed"); empty when the solve was
 	// proven optimal.
-	Degraded         string         `json:"degraded,omitempty"`
-	Served           float64        `json:"served"`
-	ServedPremium    float64        `json:"servedPremium"`
-	ServedOrdinary   float64        `json:"servedOrdinary"`
-	PredictedCostUSD float64        `json:"predictedCostUSD"`
+	Degraded         string  `json:"degraded,omitempty"`
+	Served           float64 `json:"served"`
+	ServedPremium    float64 `json:"servedPremium"`
+	ServedOrdinary   float64 `json:"servedOrdinary"`
+	PredictedCostUSD float64 `json:"predictedCostUSD"`
+	// EnergyCostUSD / DemandChargeUSD / SettlementUSD decompose
+	// PredictedCostUSD when the tariff engine priced the hour; all omitted
+	// on plain energy-only decisions.
+	EnergyCostUSD    float64        `json:"energyCostUSD,omitempty"`
+	DemandChargeUSD  float64        `json:"demandChargeUSD,omitempty"`
+	SettlementUSD    float64        `json:"settlementUSD,omitempty"`
 	Sites            []SiteDecision `json:"sites"`
 	SolverNodes      int            `json:"solverNodes"`
 	SolverSolves     int            `json:"solverSolves"`
@@ -383,8 +411,9 @@ type DecideResponse struct {
 }
 
 // hourInputFrom maps the wire request onto the controller's input; a
-// null/omitted budget means uncapped.
-func hourInputFrom(req DecideRequest) core.HourInput {
+// null/omitted budget means uncapped. Tariff fields the request leaves out
+// are filled from the server's live position when the engine is enabled.
+func (s *Server) hourInputFrom(req DecideRequest) core.HourInput {
 	in := core.HourInput{
 		Hour:          req.Hour,
 		TotalLambda:   req.TotalLambda,
@@ -392,10 +421,17 @@ func hourInputFrom(req DecideRequest) core.HourInput {
 		DemandMW:      req.DemandMW,
 		BudgetUSD:     math.Inf(1),
 		Down:          req.Down,
+
+		DemandChargeUSDPerMW: req.DemandChargeUSDPerMW,
+		PeakMW:               req.PeakMW,
+		RTPriceUSDPerMWh:     req.RTPriceUSDPerMWh,
+		CommitMW:             req.CommitMW,
+		Batteries:            req.Batteries,
 	}
 	if req.BudgetUSD != nil {
 		in.BudgetUSD = *req.BudgetUSD
 	}
+	s.attachTariff(&in, req)
 	return in
 }
 
@@ -429,6 +465,11 @@ func (s *Server) decideResponseFrom(dec core.Decision) DecideResponse {
 	if dec.Degraded != core.DegradeNone {
 		resp.Degraded = dec.Degraded.String()
 	}
+	if dec.EnergyCostUSD != 0 || dec.DemandChargeUSD != 0 || dec.SettlementUSD != 0 {
+		resp.EnergyCostUSD = dec.EnergyCostUSD
+		resp.DemandChargeUSD = dec.DemandChargeUSD
+		resp.SettlementUSD = dec.SettlementUSD
+	}
 	for i, a := range dec.Sites {
 		resp.Sites = append(resp.Sites, SiteDecision{
 			Site:           s.sites[i].Name,
@@ -437,6 +478,12 @@ func (s *Server) decideResponseFrom(dec core.Decision) DecideResponse {
 			PriceUSDPerMWh: a.PriceUSDPerMWh,
 			CostUSD:        a.CostUSD,
 			On:             a.On,
+
+			GridMW:      a.GridMW,
+			ChargeMW:    a.ChargeMW,
+			DischargeMW: a.DischargeMW,
+			EnergyUSD:   a.EnergyUSD,
+			DemandUSD:   a.DemandUSD,
 		})
 	}
 	return resp
@@ -451,7 +498,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	in := hourInputFrom(req)
+	in := s.hourInputFrom(req)
 	// A malformed request is the client's bug even on the resilient path;
 	// the ladder's input patching is for feed dropouts, not API misuse.
 	if err := s.sys.ValidateInput(in); err != nil {
@@ -468,7 +515,6 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	if req.Resilient {
 		dec = s.resilient.DecideCtx(ctx, in)
 		s.noteRung(dec.Degraded)
-		s.persistDecision(in.Hour)
 	} else {
 		var err error
 		dec, err = s.sys.DecideHourCtx(ctx, in)
@@ -480,6 +526,13 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	// Every decision refreshes the data plane (a shed decision with nothing
 	// to route leaves the previous table live).
 	s.route.Install(in, dec)
+	// A served (non-override) decision is what the sites will do this hour:
+	// move the stored energy and ratchet the demand-charge ledger. Commit
+	// before persisting so the WAL entry carries the post-hour position.
+	s.commitTariff(req, in, dec)
+	if req.Resilient {
+		s.persistDecision(in.Hour)
+	}
 	writeJSON(w, http.StatusOK, s.decideResponseFrom(dec))
 }
 

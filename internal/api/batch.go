@@ -64,7 +64,7 @@ func (s *Server) handleDecideBatch(w http.ResponseWriter, r *http.Request) {
 				fmt.Errorf("hours[%d]: timeoutMS and resilient are batch-level only", i))
 			return
 		}
-		ins[i] = hourInputFrom(h)
+		ins[i] = s.hourInputFrom(h)
 		if err := s.sys.ValidateInput(ins[i]); err != nil {
 			writeErr(w, statusFor(err), fmt.Errorf("hours[%d]: %w", i, err))
 			return

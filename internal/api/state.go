@@ -39,6 +39,12 @@ func (s *Server) EnableState(dir string) (state.RestoreInfo, error) {
 			return info, err
 		}
 	}
+	if cp != nil {
+		if err := s.restoreTariff(cp.Peaks, cp.BatterySoCMWh); err != nil {
+			store.Close()
+			return info, err
+		}
+	}
 	s.state = &stateLayer{
 		store: store,
 		info:  info,
@@ -66,7 +72,10 @@ func (s *Server) CloseState() error {
 	s.state.mu.Lock()
 	defer s.state.mu.Unlock()
 	ls := s.resilient.Snapshot()
-	err := s.state.store.WriteSnapshot(state.Checkpoint{Hour: nextHour(ls), Resilient: &ls})
+	peaks, socs := s.tariffSnapshot()
+	err := s.state.store.WriteSnapshot(state.Checkpoint{
+		Hour: nextHour(ls), Resilient: &ls, Peaks: peaks, BatterySoCMWh: socs,
+	})
 	if cerr := s.state.store.Close(); err == nil {
 		err = cerr
 	}
@@ -83,13 +92,17 @@ func (s *Server) persistDecision(hour int) {
 	s.state.mu.Lock()
 	defer s.state.mu.Unlock()
 	ls := s.resilient.Snapshot()
-	if err := s.state.store.Append(state.Entry{Hour: hour, Resilient: &ls}); err != nil {
+	peaks, socs := s.tariffSnapshot()
+	if err := s.state.store.Append(state.Entry{
+		Hour: hour, Resilient: &ls, Peaks: peaks, BatterySoCMWh: socs,
+	}); err != nil {
 		s.state.persistErrors.Inc()
 		return
 	}
 	s.state.appends++
 	if s.state.appends%snapshotEveryDecisions == 0 {
-		if err := s.state.store.WriteSnapshot(state.Checkpoint{Hour: nextHour(ls), Resilient: &ls}); err != nil {
+		cp := state.Checkpoint{Hour: nextHour(ls), Resilient: &ls, Peaks: peaks, BatterySoCMWh: socs}
+		if err := s.state.store.WriteSnapshot(cp); err != nil {
 			s.state.persistErrors.Inc()
 		}
 	}

@@ -69,7 +69,7 @@ func TestCheckRejections(t *testing.T) {
 		}, "tariff says"},
 		{"cost not rate times power", func(c *Claim, _ *[]Site, _ *Input) {
 			c.CostUSD *= 2
-		}, "rate×power"},
+		}, "tariff re-derivation"},
 		{"off but loaded", func(c *Claim, _ *[]Site, _ *Input) {
 			c.On = false
 		}, "off but carries"},

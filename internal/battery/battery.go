@@ -55,10 +55,27 @@ func New(capacityMWh, maxChargeMW, maxDischargeMW, efficiency float64) (*Battery
 // SoC returns the current state of charge in MWh.
 func (b *Battery) SoC() float64 { return b.soc }
 
+// SetSoC restores a state of charge (e.g. from a crash-safe snapshot). The
+// value is clamped into [0, CapacityMWh]; non-finite values reset to empty.
+func (b *Battery) SetSoC(mwh float64) {
+	if !isFinite(mwh) || mwh < 0 {
+		mwh = 0
+	}
+	if mwh > b.CapacityMWh {
+		mwh = b.CapacityMWh
+	}
+	b.soc = mwh
+}
+
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
 // Charge stores up to gridMW of grid power for one hour and returns the
 // grid power actually drawn (losses make stored energy smaller).
+// Non-finite requests (NaN, ±Inf) are rejected: `gridMW <= 0` is false for
+// NaN, so without the explicit check math.Min would propagate NaN into the
+// state of charge and poison the battery for the rest of the run.
 func (b *Battery) Charge(gridMW float64) float64 {
-	if gridMW <= 0 || b.CapacityMWh == 0 {
+	if !isFinite(gridMW) || gridMW <= 0 || b.CapacityMWh == 0 {
 		return 0
 	}
 	gridMW = math.Min(gridMW, b.MaxChargeMW)
@@ -73,9 +90,10 @@ func (b *Battery) Charge(gridMW float64) float64 {
 }
 
 // Discharge serves up to wantMW of load from the store for one hour and
-// returns the power actually delivered.
+// returns the power actually delivered. Non-finite requests are rejected for
+// the same reason as in Charge.
 func (b *Battery) Discharge(wantMW float64) float64 {
-	if wantMW <= 0 {
+	if !isFinite(wantMW) || wantMW <= 0 {
 		return 0
 	}
 	wantMW = math.Min(wantMW, b.MaxDischargeMW)
@@ -129,21 +147,29 @@ func (o *Operator) observe(price float64) {
 
 // thresholds derives the charge/discharge trigger prices. Until a day of
 // history accumulates it falls back to the policy's rate band. Arbitrage
-// must beat the round-trip loss: if the observed spread is thinner than
-// what efficiency eats, the operator idles (low > high is returned, so
-// neither branch triggers).
+// must beat the round-trip loss: if the spread is thinner than what
+// efficiency eats, the operator idles. The idle sentinel is
+// (low, high) = (-Inf, +Inf) so that neither `price <= low` nor
+// `price >= high` can ever trigger — a finite sentinel like (1, 0) would
+// still fire the charge branch for any price at or below $1/MWh, which
+// real-time markets do produce.
 func (o *Operator) thresholds() (low, high float64) {
 	if len(o.history) < 24 {
 		mn, mx := o.Policy.Fn.Min(), o.Policy.Fn.Max()
 		span := mx - mn
-		return mn + o.LowFrac*span, mn + o.HighFrac*span
+		low = mn + o.LowFrac*span
+		high = mn + o.HighFrac*span
+	} else {
+		sorted := append(timeseries.Series(nil), o.history...)
+		low = sorted.Quantile(o.LowFrac)
+		high = sorted.Quantile(o.HighFrac)
 	}
-	sorted := append(timeseries.Series(nil), o.history...)
-	low = sorted.Quantile(o.LowFrac)
-	high = sorted.Quantile(o.HighFrac)
 	// Profitability floor: buying 1 MWh costs low/η to deliver 1 MWh later.
+	// This applies to the cold-start policy band too — a thin band with a
+	// lossy battery would otherwise arbitrage at a guaranteed loss for the
+	// whole first day.
 	if eff := o.Battery.Efficiency; eff > 0 && high*eff < low {
-		return 1, 0 // spread too thin: idle
+		return math.Inf(-1), math.Inf(1) // spread too thin: idle
 	}
 	return low, high
 }

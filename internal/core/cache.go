@@ -163,7 +163,11 @@ func (s *System) planHour(in HourInput) ([][]piecewise.SegPlan, uint64, error) {
 // skeleton and patches only the hour-dependent coefficients (affine link,
 // capacity big-M, segment bounds), skipping the full rebuild.
 func (s *System) buildHour(in HourInput, scale, maxLoad float64) (*milp.Problem, []siteVars, uint64, error) {
-	if s.cache == nil {
+	if s.cache == nil || in.hasTariffExtras() {
+		// Tariff hours bypass the cache: the skeleton lacks the battery and
+		// demand-charge variables and their bounds move with the state of
+		// charge and the peak ledger, so sig 0 also disables warm-start
+		// seeds (warmOptions/rememberSolve ignore it).
 		m, vars, err := s.buildBase(in, scale, maxLoad)
 		return m, vars, 0, err
 	}
@@ -227,7 +231,10 @@ func cloneSiteVars(vs []siteVars) []siteVars {
 // whatever is passed, so this path cannot change any answer.
 func (s *System) warmOptions(so milp.Options, kind solveKind, sig uint64, m *milp.Problem,
 	vars []siteVars, in HourInput, scale, target float64, exactSum bool, budget float64) milp.Options {
-	if s.cache == nil {
+	if s.cache == nil || sig == 0 {
+		// sig 0 marks a tariff-extras hour: the seed's cost arithmetic and
+		// variable layout do not cover the extra variables, so neither
+		// presolve-by-skeleton nor warm seeds apply.
 		return so
 	}
 	so.Presolve = true
@@ -247,7 +254,7 @@ func (s *System) warmOptions(so milp.Options, kind solveKind, sig uint64, m *mil
 // rememberSolve records an optimal solve's per-site workloads and root basis
 // as the next hour's seed for the same kind.
 func (s *System) rememberSolve(kind solveKind, sig uint64, sol milp.Solution, m *milp.Problem, vars []siteVars, scale float64) {
-	if s.cache == nil || sol.Status != milp.Optimal {
+	if s.cache == nil || sig == 0 || sol.Status != milp.Optimal {
 		return
 	}
 	lam := make([]float64, len(vars))

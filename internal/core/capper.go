@@ -93,7 +93,7 @@ func (s *System) decideSteps(in HourInput, so milp.Options) (Decision, error) {
 	// dual decomposition (internal/decomp) instead of the exact MILP; the
 	// branch structure of the two-step algorithm is identical either way.
 	minCost, maxThroughput := s.minimizeCost, s.maximizeThroughput
-	if s.routeDecomp() {
+	if s.routeDecomp(in) {
 		minCost, maxThroughput = s.decompMinCost, s.decompMaxThroughput
 	}
 

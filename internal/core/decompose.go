@@ -11,9 +11,13 @@ import (
 
 // routeDecomp reports whether decideSteps should take the dual-decomposition
 // path instead of the exact MILP: opted in and above the fleet-size
-// threshold. Below it the exact solver stays the oracle.
-func (s *System) routeDecomp() bool {
-	return s.opts.Decompose && len(s.models) > s.opts.decomposeThreshold()
+// threshold. Below it the exact solver stays the oracle. Battery hours also
+// fall back to the exact MILP: the storage variables couple charge and
+// discharge to the load inside each site in a way the closed-form segment
+// subproblem does not model (demand charges and two-settlement, by contrast,
+// stay separable and are absorbed into the segment costs below).
+func (s *System) routeDecomp(in HourInput) bool {
+	return s.opts.Decompose && len(s.models) > s.opts.decomposeThreshold() && !in.hasBatteries()
 }
 
 func (o Options) decomposeThreshold() int {
@@ -38,8 +42,18 @@ func (s *System) decompOptions(so milp.Options) decomp.Options {
 // each reachable power segment from the piecewise plan becomes a load
 // interval (power p = a·λ + b inverts to λ = (p − b)/a), with cost and power
 // affine in the load. Down sites keep only their off state.
+//
+// The tariff engine's separable components are absorbed exactly rather than
+// dualized: under two-settlement the energy rate is the flat RT price, and a
+// demand charge splits each segment at the load where the grid draw crosses
+// the ledger's peak-so-far — the above-peak part carries the extra
+// dc·(p − peak) in its affine cost. No new coupling rows are needed, so the
+// decomposition's gap guarantees carry over unchanged. (Batteries are the
+// one non-separable extension; routeDecomp falls back to the exact MILP for
+// them.)
 func (s *System) decompSites(in HourInput) ([]decomp.Site, error) {
 	sites := make([]decomp.Site, len(s.models))
+	dc := in.DemandChargeUSDPerMW
 	for i, sm := range s.models {
 		name := sm.site.DC.Name
 		site := decomp.Site{Name: name, CanOff: true}
@@ -53,7 +67,12 @@ func (s *System) decompSites(in HourInput) ([]decomp.Site, error) {
 			return nil, fmt.Errorf("core: site %s: %w", name, err)
 		}
 		a, b := sm.affine.A, sm.affine.B
+		peak := in.peak(i)
 		for _, sp := range plan {
+			rate := sp.Rate
+			if in.twoSettlement() {
+				rate = in.RTPriceUSDPerMWh[i]
+			}
 			var lo, hi float64
 			if a > 0 {
 				lo = math.Max(0, (sp.Lo-b)/a)
@@ -65,20 +84,55 @@ func (s *System) decompSites(in HourInput) ([]decomp.Site, error) {
 					continue
 				}
 				lo, hi = 0, sm.maxLambda
+				seg := decomp.Segment{
+					Seg: sp.Seg, LoadLo: lo, LoadHi: hi,
+					Cost0: rate * b, Power0: b, Rate: rate,
+				}
+				if dc > 0 && b > peak {
+					seg.Cost0 += dc * (b - peak)
+				}
+				site.Segments = append(site.Segments, seg)
+				continue
 			}
 			if hi < lo {
 				continue // the power segment sits outside the site's λ range
 			}
-			site.Segments = append(site.Segments, decomp.Segment{
-				Seg:    sp.Seg,
-				LoadLo: lo,
-				LoadHi: hi,
-				Cost0:  sp.Rate * b,
-				Cost1:  sp.Rate * a,
-				Power0: b,
-				Power1: a,
-				Rate:   sp.Rate,
-			})
+			add := func(l0, l1 float64, abovePeak bool) {
+				if l1 < l0 {
+					return
+				}
+				seg := decomp.Segment{
+					Seg:    sp.Seg,
+					LoadLo: l0,
+					LoadHi: l1,
+					Cost0:  rate * b,
+					Cost1:  rate * a,
+					Power0: b,
+					Power1: a,
+					Rate:   rate,
+				}
+				if abovePeak {
+					// rate·p + dc·(p − peak) with p = a·λ + b.
+					seg.Cost0 += dc * (b - peak)
+					seg.Cost1 += dc * a
+				}
+				site.Segments = append(site.Segments, seg)
+			}
+			if dc <= 0 {
+				add(lo, hi, false)
+				continue
+			}
+			// Split at the load where the grid draw crosses the peak ledger.
+			loadAtPeak := (peak - b) / a
+			switch {
+			case loadAtPeak <= lo:
+				add(lo, hi, true)
+			case loadAtPeak >= hi:
+				add(lo, hi, false)
+			default:
+				add(lo, loadAtPeak, false)
+				add(loadAtPeak, hi, true)
+			}
 		}
 		sites[i] = site
 	}
@@ -115,7 +169,7 @@ func (s *System) decompMinCost(in HourInput, lambda float64, stats *SolverStats,
 	if res.Status == decomp.Infeasible {
 		return Decision{}, fmt.Errorf("%w: %v req/h over %d sites", ErrInfeasible, lambda, len(sites))
 	}
-	d := decisionFromDecomp(res)
+	d := s.decisionFromDecomp(res, in)
 	if stats != nil {
 		d.Solver = *stats
 	}
@@ -132,11 +186,18 @@ func (s *System) decompMaxThroughput(in HourInput, stats *SolverStats, so milp.O
 	if err != nil {
 		return Decision{}, err
 	}
+	budget := in.BudgetUSD
+	if !math.IsInf(budget, 1) {
+		// The two-settlement position is sunk; only the remainder of the
+		// budget constrains the dispatch (segment costs already include the
+		// demand-charge increments).
+		budget = math.Max(0, budget-s.settlementUSD(in))
+	}
 	inst := decomp.Instance{
 		Sites:      sites,
 		Sense:      decomp.MaxLoadWithinBudget,
 		TargetLoad: in.TotalLambda,
-		BudgetUSD:  in.BudgetUSD,
+		BudgetUSD:  budget,
 		Epsilon:    s.opts.epsilon(),
 	}
 	res, err := decomp.Solve(inst, s.decompOptions(so))
@@ -151,7 +212,7 @@ func (s *System) decompMaxThroughput(in HourInput, stats *SolverStats, so milp.O
 		// this is a solver-level failure worth surfacing.
 		return Decision{}, fmt.Errorf("core: decomposed throughput maximization found no feasible plan")
 	}
-	d := decisionFromDecomp(res)
+	d := s.decisionFromDecomp(res, in)
 	if stats != nil {
 		d.Solver = *stats
 	}
@@ -159,19 +220,32 @@ func (s *System) decompMaxThroughput(in HourInput, stats *SolverStats, so milp.O
 }
 
 // decisionFromDecomp maps a recovered primal onto the capper's decision
-// shape.
-func decisionFromDecomp(res decomp.Result) Decision {
+// shape, re-deriving the tariff components from the allocation values (the
+// same exactness discipline as decisionFrom: the audit re-checks claims, so
+// they must be rate×power arithmetic, not objective readbacks).
+func (s *System) decisionFromDecomp(res decomp.Result, in HourInput) Decision {
 	d := Decision{Sites: make([]SiteAlloc, len(res.Sites))}
 	for i, a := range res.Sites {
-		d.Sites[i] = SiteAlloc{
+		alloc := SiteAlloc{
 			Lambda:         a.Load,
 			PowerMW:        a.PowerMW,
+			GridMW:         a.PowerMW, // no batteries on the decomp path
 			PriceUSDPerMWh: a.Rate,
-			CostUSD:        a.CostUSD,
 			On:             a.On,
 		}
+		if a.On {
+			alloc.EnergyUSD = a.Rate * a.PowerMW
+			if in.DemandChargeUSDPerMW > 0 {
+				alloc.DemandUSD = in.DemandChargeUSDPerMW * math.Max(0, a.PowerMW-in.peak(i))
+			}
+			alloc.CostUSD = alloc.EnergyUSD + alloc.DemandUSD
+		}
+		d.Sites[i] = alloc
+		d.EnergyCostUSD += alloc.EnergyUSD
+		d.DemandChargeUSD += alloc.DemandUSD
 	}
-	d.PredictedCostUSD = res.CostUSD
+	d.SettlementUSD = s.settlementUSD(in)
+	d.PredictedCostUSD = d.EnergyCostUSD + d.DemandChargeUSD + d.SettlementUSD
 	d.Served = res.Load
 	return d
 }

@@ -126,14 +126,24 @@ func (st *SolverStats) Accumulate(o SolverStats) {
 type SiteAlloc struct {
 	// Lambda is the workload routed to the site, requests/hour.
 	Lambda float64
-	// PowerMW is the optimizer's predicted draw under its affine model.
+	// PowerMW is the optimizer's predicted IT draw under its affine model.
 	PowerMW float64
-	// PriceUSDPerMWh is the price level the optimizer expects to pay.
+	// PriceUSDPerMWh is the price level the optimizer expects to pay for
+	// grid energy (the RT price under two-settlement).
 	PriceUSDPerMWh float64
-	// CostUSD is the predicted hourly cost Pr·p.
+	// CostUSD is the site's predicted hourly cost attributable to the
+	// decision: the energy charge plus the demand-charge increment.
 	CostUSD float64
 	// On reports whether the site is powered at all.
 	On bool
+
+	// GridMW is the metered grid draw: IT power + battery charge −
+	// battery discharge. Equal to PowerMW when the site has no battery.
+	GridMW float64
+	// ChargeMW and DischargeMW are the hour's planned battery actions.
+	ChargeMW, DischargeMW float64
+	// EnergyUSD and DemandUSD split CostUSD into tariff components.
+	EnergyUSD, DemandUSD float64
 }
 
 // Step identifies which branch of the two-step algorithm produced a decision.
@@ -221,8 +231,14 @@ func (d Degrade) String() string {
 // Decision is the capper's output for one hour.
 type Decision struct {
 	Sites []SiteAlloc
-	// PredictedCostUSD is Σ Pr·p under the optimizer's models.
+	// PredictedCostUSD is the hour's predicted bill under the optimizer's
+	// models: energy + demand-charge increment + two-settlement position.
+	// (Energy-only inputs reduce it to the paper's Σ Pr·p.)
 	PredictedCostUSD float64
+	// EnergyCostUSD, DemandChargeUSD and SettlementUSD decompose
+	// PredictedCostUSD by tariff component. SettlementUSD is the
+	// decision-independent day-ahead position and can be negative.
+	EnergyCostUSD, DemandChargeUSD, SettlementUSD float64
 	// Served splits the admitted traffic.
 	Served, ServedPremium, ServedOrdinary float64
 	Step                                  Step
@@ -241,6 +257,12 @@ type siteVars struct {
 	enc    piecewise.Encoded
 	powRow int // affine power link: x coefficient is −a·scale
 	capRow int // capacity link: y coefficient is −xmax/scale
+
+	// Tariff-engine variables, −1 when absent. The solve cache never sees
+	// them: tariff hours bypass the skeleton cache (HourInput.hasTariffExtras).
+	chg  int // battery charge draw, MW
+	dis  int // battery discharge, MW
+	peak int // demand-charge exceedance above the ledger's peak-so-far, MW
 }
 
 // lambdaScale returns the scaling that keeps workload variables around ≤1e3
@@ -272,13 +294,49 @@ func (s *System) buildBase(in HourInput, scale, maxLoad float64) (*milp.Problem,
 		// Exactly one price segment is active iff the site is on.
 		sel := append(enc.SelectorTerms(), lp.Term{Var: y, Coef: -1})
 		m.AddConstraint(sel, lp.EQ, 0)
-		// Affine power link p − a·scale·x − b·y = 0.
-		powRow := m.NumConstraints()
-		m.AddConstraint([]lp.Term{
+		sv := siteVars{x: x, y: y, enc: enc, chg: -1, dis: -1, peak: -1}
+		// Grid link: the encoded power variable is the *metered* draw (that
+		// is what the tariff and the supplier cap see). Without a battery it
+		// equals the IT draw and this is the paper's affine power link
+		// p − a·scale·x − b·y = 0; with one it is p − a·scale·x − b·y − c + g = 0.
+		link := []lp.Term{
 			{Var: enc.Power, Coef: 1},
 			{Var: x, Coef: -sm.affine.A * scale},
 			{Var: y, Coef: -sm.affine.B},
-		}, lp.EQ, 0)
+		}
+		if bat := in.battery(i); bat.active() && !in.SiteDown(i) {
+			// Charge/discharge bounded natively by rate, room and charge:
+			// η·c ≤ capacity − SoC and g ≤ SoC make any within-bounds plan
+			// realizable by battery.Battery without inter-hour rows.
+			room := math.Max(0, bat.CapacityMWh-bat.SoCMWh)
+			sv.chg = m.AddVar(name+".bchg", 0)
+			m.SetVarBounds(sv.chg, 0, math.Min(bat.MaxChargeMW, room/bat.Efficiency))
+			sv.dis = m.AddVar(name+".bdis", 0)
+			m.SetVarBounds(sv.dis, 0, math.Min(bat.MaxDischargeMW, bat.SoCMWh))
+			link = append(link,
+				lp.Term{Var: sv.chg, Coef: -1},
+				lp.Term{Var: sv.dis, Coef: 1})
+			// No export: the discharge can at most offset the IT draw
+			// (g ≤ a·scale·x + b·y); the meter never runs backwards.
+			m.AddConstraint([]lp.Term{
+				{Var: sv.dis, Coef: 1},
+				{Var: x, Coef: -sm.affine.A * scale},
+				{Var: y, Coef: -sm.affine.B},
+			}, lp.LE, 0)
+		}
+		powRow := m.NumConstraints()
+		m.AddConstraint(link, lp.EQ, 0)
+		if in.DemandChargeUSDPerMW > 0 {
+			// Demand-charge exceedance: e ≥ grid − peak-so-far, e ≥ 0. The
+			// objective prices e at the demand rate, so e settles at
+			// max(0, grid − peak) — the hour pays only for raising the
+			// billing-period peak.
+			sv.peak = m.AddVar(name+".peak", 0)
+			m.AddConstraint([]lp.Term{
+				{Var: enc.Power, Coef: 1},
+				{Var: sv.peak, Coef: -1},
+			}, lp.LE, in.peak(i))
+		}
 		// Capacity: x ≤ min(xmax, λ)·y links load to the on/off state.
 		xmax := math.Min(sm.maxLambda, maxLoad)
 		capRow := m.NumConstraints()
@@ -290,22 +348,57 @@ func (s *System) buildBase(in HourInput, scale, maxLoad float64) (*milp.Problem,
 			// Outage: force the site off; the capacity row then pins x = 0.
 			m.AddConstraint([]lp.Term{{Var: y, Coef: 1}}, lp.EQ, 0)
 		}
-		vars[i] = siteVars{x: x, y: y, enc: enc, powRow: powRow, capRow: capRow}
+		sv.powRow, sv.capRow = powRow, capRow
+		vars[i] = sv
 	}
 	return m, vars, nil
 }
 
-// costTerms collects Σᵢ Σₖ rate·p over all sites.
-func costTerms(vars []siteVars) []lp.Term {
+// costTerms collects the hour's real-money cost terms: the energy charge —
+// Σᵢ Σₖ rate·p under spot settlement, RTᵢ·gridᵢ under two-settlement — plus
+// the demand-charge exceedance terms. These are what the budget row bounds.
+// The two-settlement position (DA−RT)·C is a constant handled by the caller.
+func (s *System) costTerms(vars []siteVars, in HourInput) []lp.Term {
 	var out []lp.Term
-	for _, v := range vars {
-		out = append(out, v.enc.CostTerms()...)
+	for i, v := range vars {
+		if in.twoSettlement() {
+			out = append(out, lp.Term{Var: v.enc.Power, Coef: in.RTPriceUSDPerMWh[i]})
+		} else {
+			out = append(out, v.enc.CostTerms()...)
+		}
+		if v.peak >= 0 {
+			out = append(out, lp.Term{Var: v.peak, Coef: in.DemandChargeUSDPerMW})
+		}
 	}
 	return out
 }
 
-// decisionFrom extracts per-site allocations from a solved MILP.
-func (s *System) decisionFrom(sol milp.Solution, vars []siteVars, scale float64) Decision {
+// batteryValueTerms prices stored energy in the objective: discharging g MW
+// spends ν·g of banked value, charging c MW banks ν·η·c. Not money — they
+// never enter the budget row — but they are what makes the battery arbitrage
+// instead of draining on sight.
+func batteryValueTerms(vars []siteVars, in HourInput) []lp.Term {
+	var out []lp.Term
+	for i, v := range vars {
+		if v.chg < 0 {
+			continue
+		}
+		bat := in.battery(i)
+		if bat.ValueUSDPerMWh <= 0 {
+			continue
+		}
+		out = append(out,
+			lp.Term{Var: v.dis, Coef: bat.ValueUSDPerMWh},
+			lp.Term{Var: v.chg, Coef: -bat.ValueUSDPerMWh * bat.Efficiency})
+	}
+	return out
+}
+
+// decisionFrom extracts per-site allocations from a solved MILP. Cost
+// components are re-derived from the solution *values* (rate × grid,
+// rate × max(0, grid − peak)) rather than read off objective terms, so the
+// claims the audit re-checks are exact by construction.
+func (s *System) decisionFrom(sol milp.Solution, vars []siteVars, scale float64, in HourInput) Decision {
 	d := Decision{Sites: make([]SiteAlloc, len(vars))}
 	for i, v := range vars {
 		lam := sol.X[v.x] * scale
@@ -318,21 +411,38 @@ func (s *System) decisionFrom(sol milp.Solution, vars []siteVars, scale float64)
 		}
 		alloc := SiteAlloc{Lambda: lam, On: on}
 		if on {
-			alloc.PowerMW = sol.X[v.enc.Power]
-			for j, pv := range v.enc.SegPower {
-				alloc.CostUSD += v.enc.SegRate[j] * sol.X[pv]
+			alloc.GridMW = sol.X[v.enc.Power]
+			if v.chg >= 0 {
+				alloc.ChargeMW = math.Max(0, sol.X[v.chg])
+				alloc.DischargeMW = math.Max(0, sol.X[v.dis])
 			}
-			for j, zv := range v.enc.SegBin {
-				if sol.X[zv] > 0.5 {
-					alloc.PriceUSDPerMWh = v.enc.SegRate[j]
-					break
+			alloc.PowerMW = alloc.GridMW - alloc.ChargeMW + alloc.DischargeMW
+			if in.twoSettlement() {
+				alloc.PriceUSDPerMWh = in.RTPriceUSDPerMWh[i]
+				alloc.EnergyUSD = alloc.PriceUSDPerMWh * alloc.GridMW
+			} else {
+				for j, pv := range v.enc.SegPower {
+					alloc.EnergyUSD += v.enc.SegRate[j] * sol.X[pv]
+				}
+				for j, zv := range v.enc.SegBin {
+					if sol.X[zv] > 0.5 {
+						alloc.PriceUSDPerMWh = v.enc.SegRate[j]
+						break
+					}
 				}
 			}
+			if in.DemandChargeUSDPerMW > 0 {
+				alloc.DemandUSD = in.DemandChargeUSDPerMW * math.Max(0, alloc.GridMW-in.peak(i))
+			}
+			alloc.CostUSD = alloc.EnergyUSD + alloc.DemandUSD
 		}
 		d.Sites[i] = alloc
-		d.PredictedCostUSD += alloc.CostUSD
+		d.EnergyCostUSD += alloc.EnergyUSD
+		d.DemandChargeUSD += alloc.DemandUSD
 		d.Served += lam
 	}
+	d.SettlementUSD = s.settlementUSD(in)
+	d.PredictedCostUSD = d.EnergyCostUSD + d.DemandChargeUSD + d.SettlementUSD
 	return d
 }
 
@@ -361,7 +471,10 @@ func (s *System) minimizeCost(in HourInput, lambda float64, stats *SolverStats, 
 		terms[i] = lp.Term{Var: v.x, Coef: 1}
 	}
 	m.AddConstraint(terms, lp.EQ, lambda/scale)
-	for _, t := range costTerms(vars) {
+	for _, t := range s.costTerms(vars, in) {
+		m.SetObjectiveCoef(t.Var, m.ObjectiveCoef(t.Var)+t.Coef)
+	}
+	for _, t := range batteryValueTerms(vars, in) {
 		m.SetObjectiveCoef(t.Var, m.ObjectiveCoef(t.Var)+t.Coef)
 	}
 	so = s.warmOptions(so, kind, sig, m, vars, in, scale, lambda, true, math.Inf(1))
@@ -381,7 +494,7 @@ func (s *System) minimizeCost(in HourInput, lambda float64, stats *SolverStats, 
 	default:
 		return Decision{}, fmt.Errorf("core: cost minimization ended %v", sol.Status)
 	}
-	d := s.decisionFrom(sol, vars, scale)
+	d := s.decisionFrom(sol, vars, scale, in)
 	if sol.Status == milp.TimeLimit {
 		d.Degraded = DegradeTimeLimit
 	}
@@ -413,7 +526,10 @@ func (s *System) WriteHourModel(w io.Writer, in HourInput, lambda float64) error
 		terms[i] = lp.Term{Var: v.x, Coef: 1}
 	}
 	m.AddConstraint(terms, lp.EQ, lambda/scale)
-	for _, t := range costTerms(vars) {
+	for _, t := range s.costTerms(vars, in) {
+		m.SetObjectiveCoef(t.Var, m.ObjectiveCoef(t.Var)+t.Coef)
+	}
+	for _, t := range batteryValueTerms(vars, in) {
 		m.SetObjectiveCoef(t.Var, m.ObjectiveCoef(t.Var)+t.Coef)
 	}
 	return lpparse.Write(w, m)
@@ -442,9 +558,11 @@ func (s *System) maximizeThroughput(in HourInput, stats *SolverStats, so milp.Op
 		terms[i] = lp.Term{Var: v.x, Coef: 1}
 	}
 	m.AddConstraint(terms, lp.LE, in.TotalLambda/scale)
-	// Budget row (omitted when capping is off).
+	// Budget row (omitted when capping is off). The two-settlement position
+	// is a sunk constant, so the controllable spend must fit what remains of
+	// the budget after it.
 	if !math.IsInf(in.BudgetUSD, 1) {
-		m.AddConstraint(costTerms(vars), lp.LE, in.BudgetUSD)
+		m.AddConstraint(s.costTerms(vars, in), lp.LE, math.Max(0, in.BudgetUSD-s.settlementUSD(in)))
 	}
 	// max Σ x − ε·cost.
 	m.SetMaximize(true)
@@ -452,7 +570,10 @@ func (s *System) maximizeThroughput(in HourInput, stats *SolverStats, so milp.Op
 		m.SetObjectiveCoef(v.x, 1)
 	}
 	eps := s.opts.epsilon()
-	for _, t := range costTerms(vars) {
+	for _, t := range s.costTerms(vars, in) {
+		m.SetObjectiveCoef(t.Var, m.ObjectiveCoef(t.Var)-eps*t.Coef)
+	}
+	for _, t := range batteryValueTerms(vars, in) {
 		m.SetObjectiveCoef(t.Var, m.ObjectiveCoef(t.Var)-eps*t.Coef)
 	}
 	so = s.warmOptions(so, kind, sig, m, vars, in, scale, in.TotalLambda, false, in.BudgetUSD)
@@ -470,7 +591,7 @@ func (s *System) maximizeThroughput(in HourInput, stats *SolverStats, so milp.Op
 		// failure worth surfacing.
 		return Decision{}, fmt.Errorf("core: throughput maximization ended %v", sol.Status)
 	}
-	d := s.decisionFrom(sol, vars, scale)
+	d := s.decisionFrom(sol, vars, scale, in)
 	if sol.Status == milp.TimeLimit {
 		d.Degraded = DegradeTimeLimit
 	}

@@ -210,7 +210,68 @@ func (r *Resilient) sanitize(in HourInput) HourInput {
 	if len(in.Down) != 0 && len(in.Down) != n {
 		in.Down = nil // unusable availability feed: assume every site up
 	}
+
+	// Tariff extras: a corrupt component is dropped for the hour (the bill
+	// model degrades to energy-only) rather than aborting — same philosophy
+	// as the feeds above. Every rung below indexes these slices, so arity
+	// must be right or nil.
+	if r := in.DemandChargeUSDPerMW; math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+		in.DemandChargeUSDPerMW = 0
+	}
+	if len(in.PeakMW) != 0 && len(in.PeakMW) != n {
+		in.PeakMW = nil
+	}
+	for i, p := range in.PeakMW {
+		if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+			peaks := append([]float64(nil), in.PeakMW...)
+			peaks[i] = 0
+			in.PeakMW = peaks
+		}
+	}
+	dropTS := len(in.RTPriceUSDPerMWh) != 0 && len(in.RTPriceUSDPerMWh) != n
+	for _, p := range in.RTPriceUSDPerMWh {
+		if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+			dropTS = true
+		}
+	}
+	if dropTS {
+		in.RTPriceUSDPerMWh, in.CommitMW = nil, nil
+	}
+	if len(in.CommitMW) != 0 && (len(in.CommitMW) != n || !in.twoSettlement()) {
+		in.CommitMW = nil
+	}
+	for i, c := range in.CommitMW {
+		if math.IsNaN(c) || math.IsInf(c, 0) || c < 0 {
+			commits := append([]float64(nil), in.CommitMW...)
+			commits[i] = 0
+			in.CommitMW = commits
+		}
+	}
+	if len(in.Batteries) != 0 && len(in.Batteries) != n {
+		in.Batteries = nil
+	}
+	for i, b := range in.Batteries {
+		if badBatterySpec(b) {
+			bats := append([]BatterySpec(nil), in.Batteries...)
+			bats[i] = BatterySpec{}
+			in.Batteries = bats
+		}
+	}
 	return in
+}
+
+// badBatterySpec reports whether a spec would fail validation (the sanitizer
+// zeroes it — no battery at that site this hour — instead of rejecting).
+func badBatterySpec(b BatterySpec) bool {
+	if b.CapacityMWh == 0 && !math.IsNaN(b.CapacityMWh) {
+		return false // explicit "no battery"
+	}
+	return math.IsNaN(b.CapacityMWh) || math.IsInf(b.CapacityMWh, 0) || b.CapacityMWh < 0 ||
+		math.IsNaN(b.MaxChargeMW) || math.IsInf(b.MaxChargeMW, 0) || b.MaxChargeMW < 0 ||
+		math.IsNaN(b.MaxDischargeMW) || math.IsInf(b.MaxDischargeMW, 0) || b.MaxDischargeMW < 0 ||
+		math.IsNaN(b.Efficiency) || b.Efficiency <= 0 || b.Efficiency > 1 ||
+		math.IsNaN(b.SoCMWh) || b.SoCMWh < 0 || b.SoCMWh > b.CapacityMWh*(1+1e-9) ||
+		math.IsNaN(b.ValueUSDPerMWh) || math.IsInf(b.ValueUSDPerMWh, 0) || b.ValueUSDPerMWh < 0
 }
 
 // tryMILP runs the two-step algorithm with panic recovery: a solver bug
@@ -289,7 +350,10 @@ func (r *Resilient) staleReuse(in HourInput) (Decision, bool) {
 }
 
 // planFrom prices a per-site allocation under the optimizer's models and
-// assembles a Decision, clamping each site to its SLA/cap limit.
+// assembles a Decision, clamping each site to its SLA/cap limit. The
+// degraded rungs never operate batteries (safety: the crude plan should not
+// touch stored energy), but demand-charge increments and the two-settlement
+// position are still accounted so budget arithmetic stays truthful.
 func (r *Resilient) planFrom(in HourInput, lambdas []float64) Decision {
 	d := Decision{Sites: make([]SiteAlloc, len(r.sys.models))}
 	for i, sm := range r.sys.models {
@@ -302,16 +366,28 @@ func (r *Resilient) planFrom(in HourInput, lambdas []float64) Decision {
 		}
 		p := sm.affine.A*lam + sm.affine.B
 		rate := r.sys.viewFn(i).Fn.Eval(in.DemandMW[i] + p)
-		d.Sites[i] = SiteAlloc{
+		if in.twoSettlement() {
+			rate = in.RTPriceUSDPerMWh[i]
+		}
+		alloc := SiteAlloc{
 			Lambda:         lam,
 			PowerMW:        p,
+			GridMW:         p,
 			PriceUSDPerMWh: rate,
-			CostUSD:        rate * p,
+			EnergyUSD:      rate * p,
 			On:             true,
 		}
+		if in.DemandChargeUSDPerMW > 0 {
+			alloc.DemandUSD = in.DemandChargeUSDPerMW * math.Max(0, p-in.peak(i))
+		}
+		alloc.CostUSD = alloc.EnergyUSD + alloc.DemandUSD
+		d.Sites[i] = alloc
 		d.Served += lam
-		d.PredictedCostUSD += d.Sites[i].CostUSD
+		d.EnergyCostUSD += alloc.EnergyUSD
+		d.DemandChargeUSD += alloc.DemandUSD
 	}
+	d.SettlementUSD = r.sys.settlementUSD(in)
+	d.PredictedCostUSD = d.EnergyCostUSD + d.DemandChargeUSD + d.SettlementUSD
 	d.ServedPremium = math.Min(in.PremiumLambda, d.Served)
 	d.ServedOrdinary = d.Served - d.ServedPremium
 	d.Step = stepFor(in, d)

@@ -98,7 +98,7 @@ func (r *Resilient) auditDecision(in HourInput, dec Decision) error {
 	for i, sm := range r.sys.models {
 		dc := sm.site.DC
 		fn := r.sys.viewFn(i).Fn
-		sites[i] = audit.Site{
+		site := audit.Site{
 			MaxLambda:   sm.maxLambda,
 			MWPerLambda: sm.affine.A,
 			IdleMW:      sm.affine.B,
@@ -107,7 +107,23 @@ func (r *Resilient) auditDecision(in HourInput, dec Decision) error {
 			DemandMW:    in.DemandMW[i],
 			Down:        in.SiteDown(i),
 			Price:       fn.Eval,
+
+			DemandRateUSDPerMW: in.DemandChargeUSDPerMW,
+			PeakMW:             in.peak(i),
 		}
+		if in.twoSettlement() {
+			site.TwoSettlement = true
+			site.RTPriceUSDPerMWh = in.RTPriceUSDPerMWh[i]
+			site.CommitMW = in.commit(i)
+		}
+		if bat := in.battery(i); bat.active() {
+			site.BatCapacityMWh = bat.CapacityMWh
+			site.BatMaxChargeMW = bat.MaxChargeMW
+			site.BatMaxDischargeMW = bat.MaxDischargeMW
+			site.BatEfficiency = bat.Efficiency
+			site.BatSoCMWh = bat.SoCMWh
+		}
+		sites[i] = site
 	}
 	claims := make([]audit.Claim, len(dec.Sites))
 	for i, a := range dec.Sites {
@@ -117,6 +133,12 @@ func (r *Resilient) auditDecision(in HourInput, dec Decision) error {
 			Rate:    a.PriceUSDPerMWh,
 			CostUSD: a.CostUSD,
 			On:      a.On,
+
+			GridMW:      a.GridMW,
+			ChargeMW:    a.ChargeMW,
+			DischargeMW: a.DischargeMW,
+			EnergyUSD:   a.EnergyUSD,
+			DemandUSD:   a.DemandUSD,
 		}
 	}
 	if len(claims) != len(sites) {
@@ -126,6 +148,7 @@ func (r *Resilient) auditDecision(in HourInput, dec Decision) error {
 		TotalLambda:   in.TotalLambda,
 		PremiumLambda: in.PremiumLambda,
 		BudgetUSD:     in.BudgetUSD,
+		SettlementUSD: dec.SettlementUSD,
 		ServeAll:      dec.Step == StepCostMin,
 		BudgetExempt:  dec.Step == StepPremiumOnly || dec.Step == StepOverCapacity,
 	})

@@ -214,6 +214,11 @@ func (s *System) Options() Options { return s.opts }
 // NumSites returns the number of data centers.
 func (s *System) NumSites() int { return len(s.Sites) }
 
+// CapPenaltyUSDPerMWh returns the effective supplier penalty rate (the
+// configured value or the package default), so harnesses billing metered
+// grid draws outside Realize charge cap violations at the same rate.
+func (s *System) CapPenaltyUSDPerMWh() float64 { return s.opts.capPenalty() }
+
 // MaxThroughput returns the total arrival rate the system can accept under
 // the optimizer's site models.
 func (s *System) MaxThroughput() float64 {
@@ -255,10 +260,127 @@ type HourInput struct {
 	// every site is up. A down site is forced off in the MILP and receives
 	// no load from the fallback dispatcher.
 	Down []bool
+
+	// The remaining fields extend the paper's energy-only bill to the tariff
+	// engine (pricing.Tariff). All zero/nil values reproduce the original
+	// model exactly.
+
+	// DemandChargeUSDPerMW is the billing-period demand charge rate. When
+	// positive, each site pays it for every MW its grid draw rises above
+	// PeakMW[i] — the incremental form of peak-MW × $/MW-month billing that
+	// keeps hours separable (the increments telescope to rate × final peak).
+	DemandChargeUSDPerMW float64
+	// PeakMW is the peak-so-far grid draw per site from the demand-charge
+	// ledger (pricing.PeakLedger); nil means all zero.
+	PeakMW []float64
+	// RTPriceUSDPerMWh switches the hour to two-settlement: grid draw is
+	// priced at this real-time rate per site instead of the step policy, and
+	// the day-ahead position (DA − RT)·CommitMW is a decision-independent
+	// constant folded into the predicted cost and the budget. nil = spot.
+	RTPriceUSDPerMWh []float64
+	// CommitMW is the day-ahead committed grid draw per site (two-settlement
+	// only); nil means no commitments.
+	CommitMW []float64
+	// Batteries gives each site's storage for the hour; nil or a zero
+	// CapacityMWh spec means no battery at that site. The MILP gains
+	// charge/discharge variables bounded by the spec and by the current
+	// state of charge.
+	Batteries []BatterySpec
+}
+
+// BatterySpec is one site's storage as the hour MILP sees it: the physical
+// bounds plus the planner's value of stored energy. It deliberately carries
+// plain numbers rather than a *battery.Battery so decisions stay pure
+// functions of their input.
+type BatterySpec struct {
+	// CapacityMWh, MaxChargeMW, MaxDischargeMW, Efficiency mirror
+	// battery.Battery. CapacityMWh 0 = no battery.
+	CapacityMWh    float64
+	MaxChargeMW    float64
+	MaxDischargeMW float64
+	Efficiency     float64
+	// SoCMWh is the state of charge entering the hour.
+	SoCMWh float64
+	// ValueUSDPerMWh prices stored energy in the objective (a Lagrangian
+	// relaxation of the inter-hour SoC coupling): charging c MW banks
+	// η·c MWh valued at ν each, discharging g MW spends ν·g. The hour then
+	// charges exactly when the marginal energy price is below ν·η and
+	// discharges when it is above ν. 0 makes the battery invisible to the
+	// optimizer (it would discharge for free and never recharge), so
+	// callers should set ν near the site's mid-band price.
+	ValueUSDPerMWh float64
+}
+
+// active reports whether the spec describes a usable battery.
+func (b BatterySpec) active() bool {
+	return b.CapacityMWh > 0 && b.Efficiency > 0 && (b.MaxChargeMW > 0 || b.MaxDischargeMW > 0)
 }
 
 // SiteDown reports whether site i is marked unavailable.
 func (in HourInput) SiteDown(i int) bool { return i < len(in.Down) && in.Down[i] }
+
+// peak returns site i's peak-so-far grid draw.
+func (in HourInput) peak(i int) float64 {
+	if i < len(in.PeakMW) {
+		return in.PeakMW[i]
+	}
+	return 0
+}
+
+// battery returns site i's battery spec (zero value = none).
+func (in HourInput) battery(i int) BatterySpec {
+	if i < len(in.Batteries) {
+		return in.Batteries[i]
+	}
+	return BatterySpec{}
+}
+
+// twoSettlement reports whether the hour settles in the two-price market.
+func (in HourInput) twoSettlement() bool { return len(in.RTPriceUSDPerMWh) > 0 }
+
+// commit returns site i's day-ahead committed grid draw.
+func (in HourInput) commit(i int) float64 {
+	if i < len(in.CommitMW) {
+		return in.CommitMW[i]
+	}
+	return 0
+}
+
+// hasBatteries reports whether any site has an active battery this hour.
+func (in HourInput) hasBatteries() bool {
+	for i := range in.Batteries {
+		if in.battery(i).active() {
+			return true
+		}
+	}
+	return false
+}
+
+// hasTariffExtras reports whether the hour uses any tariff component beyond
+// the energy-only model — the condition under which the solve cache's
+// skeleton (built without the extra variables and rows) must be bypassed.
+func (in HourInput) hasTariffExtras() bool {
+	return in.DemandChargeUSDPerMW > 0 || in.twoSettlement() || in.hasBatteries()
+}
+
+// settlementUSD is the hour's decision-independent two-settlement position
+// Σᵢ (DAᵢ − RTᵢ)·Cᵢ, where DA is the optimizer's price view evaluated at the
+// committed load. Zero under spot settlement.
+func (s *System) settlementUSD(in HourInput) float64 {
+	if !in.twoSettlement() {
+		return 0
+	}
+	total := 0.0
+	for i := range s.models {
+		c := in.commit(i)
+		if c <= 0 {
+			continue
+		}
+		da := s.viewFn(i).Price(in.DemandMW[i] + c)
+		total += (da - in.RTPriceUSDPerMWh[i]) * c
+	}
+	return total
+}
 
 // ScaleLoad returns a copy of the input with TotalLambda and PremiumLambda
 // multiplied by f, preserving the premium fraction — the drift re-solve's
@@ -296,6 +418,64 @@ func (s *System) ValidateInput(in HourInput) error {
 	for i, d := range in.DemandMW {
 		if d < 0 || math.IsNaN(d) {
 			return fmt.Errorf("%w: bad demand %v at site %d", ErrBadInput, d, i)
+		}
+	}
+	return s.validateTariffInput(in)
+}
+
+// validateTariffInput checks the tariff-engine extensions of HourInput.
+func (s *System) validateTariffInput(in HourInput) error {
+	n := len(s.Sites)
+	if r := in.DemandChargeUSDPerMW; math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+		return fmt.Errorf("%w: demand charge rate %v", ErrBadInput, r)
+	}
+	if len(in.PeakMW) != 0 && len(in.PeakMW) != n {
+		return fmt.Errorf("%w: %d peak entries for %d sites", ErrBadInput, len(in.PeakMW), n)
+	}
+	for i, p := range in.PeakMW {
+		if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+			return fmt.Errorf("%w: bad peak %v MW at site %d", ErrBadInput, p, i)
+		}
+	}
+	if len(in.RTPriceUSDPerMWh) != 0 && len(in.RTPriceUSDPerMWh) != n {
+		return fmt.Errorf("%w: %d RT prices for %d sites", ErrBadInput, len(in.RTPriceUSDPerMWh), n)
+	}
+	for i, r := range in.RTPriceUSDPerMWh {
+		if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+			return fmt.Errorf("%w: bad RT price %v at site %d", ErrBadInput, r, i)
+		}
+	}
+	if len(in.CommitMW) != 0 && len(in.CommitMW) != n {
+		return fmt.Errorf("%w: %d commitments for %d sites", ErrBadInput, len(in.CommitMW), n)
+	}
+	if len(in.CommitMW) != 0 && !in.twoSettlement() {
+		return fmt.Errorf("%w: day-ahead commitments without a real-time price series", ErrBadInput)
+	}
+	for i, c := range in.CommitMW {
+		if math.IsNaN(c) || math.IsInf(c, 0) || c < 0 {
+			return fmt.Errorf("%w: bad commitment %v MW at site %d", ErrBadInput, c, i)
+		}
+	}
+	if len(in.Batteries) != 0 && len(in.Batteries) != n {
+		return fmt.Errorf("%w: %d battery specs for %d sites", ErrBadInput, len(in.Batteries), n)
+	}
+	for i, b := range in.Batteries {
+		switch {
+		case math.IsNaN(b.CapacityMWh) || math.IsInf(b.CapacityMWh, 0) || b.CapacityMWh < 0:
+			return fmt.Errorf("%w: battery capacity %v MWh at site %d", ErrBadInput, b.CapacityMWh, i)
+		case b.CapacityMWh == 0:
+			continue // no battery at this site
+		case math.IsNaN(b.MaxChargeMW) || b.MaxChargeMW < 0 || math.IsNaN(b.MaxDischargeMW) || b.MaxDischargeMW < 0:
+			return fmt.Errorf("%w: battery rates %v/%v MW at site %d", ErrBadInput, b.MaxChargeMW, b.MaxDischargeMW, i)
+		case math.IsInf(b.MaxChargeMW, 0) || math.IsInf(b.MaxDischargeMW, 0):
+			return fmt.Errorf("%w: battery rates %v/%v MW at site %d", ErrBadInput, b.MaxChargeMW, b.MaxDischargeMW, i)
+		case b.Efficiency <= 0 || b.Efficiency > 1 || math.IsNaN(b.Efficiency):
+			return fmt.Errorf("%w: battery efficiency %v at site %d", ErrBadInput, b.Efficiency, i)
+		case math.IsNaN(b.SoCMWh) || b.SoCMWh < 0 || b.SoCMWh > b.CapacityMWh*(1+1e-9):
+			return fmt.Errorf("%w: battery state of charge %v MWh outside [0, %v] at site %d",
+				ErrBadInput, b.SoCMWh, b.CapacityMWh, i)
+		case math.IsNaN(b.ValueUSDPerMWh) || math.IsInf(b.ValueUSDPerMWh, 0) || b.ValueUSDPerMWh < 0:
+			return fmt.Errorf("%w: battery energy value %v at site %d", ErrBadInput, b.ValueUSDPerMWh, i)
 		}
 	}
 	return nil

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// tariffIn builds a serve-all hour over the paper fleet with room to spare.
+func tariffIn() HourInput {
+	return HourInput{
+		Hour:          10,
+		TotalLambda:   1.5e11,
+		PremiumLambda: 1.0e11,
+		DemandMW:      demand3(),
+		BudgetUSD:     math.Inf(1),
+	}
+}
+
+func decide(t *testing.T, s *System, in HourInput) Decision {
+	t.Helper()
+	d, err := s.DecideHour(in)
+	if err != nil {
+		t.Fatalf("DecideHour: %v", err)
+	}
+	return d
+}
+
+// TestDemandChargeGolden checks the demand-charge decomposition against hand
+// arithmetic: every site pays rate × max(0, grid − peak-so-far), the hour's
+// DemandChargeUSD is their sum, and the predicted cost is energy + demand.
+func TestDemandChargeGolden(t *testing.T) {
+	s := paperSystem(t, Options{})
+	base := decide(t, s, tariffIn())
+
+	in := tariffIn()
+	in.DemandChargeUSDPerMW = 1000
+	in.PeakMW = []float64{0, 0, 0}
+	d := decide(t, s, in)
+
+	wantDemand := 0.0
+	for i, a := range d.Sites {
+		inc := in.DemandChargeUSDPerMW * math.Max(0, a.GridMW-in.PeakMW[i])
+		if math.Abs(a.DemandUSD-inc) > 1e-9 {
+			t.Errorf("site %d DemandUSD = %v, want %v", i, a.DemandUSD, inc)
+		}
+		if math.Abs(a.CostUSD-(a.EnergyUSD+a.DemandUSD)) > 1e-9 {
+			t.Errorf("site %d CostUSD = %v, want energy %v + demand %v",
+				i, a.CostUSD, a.EnergyUSD, a.DemandUSD)
+		}
+		wantDemand += inc
+	}
+	if wantDemand == 0 {
+		t.Fatal("zero-peak ledger produced no demand charge at all")
+	}
+	if math.Abs(d.DemandChargeUSD-wantDemand) > 1e-9 {
+		t.Errorf("DemandChargeUSD = %v, want %v", d.DemandChargeUSD, wantDemand)
+	}
+	if math.Abs(d.PredictedCostUSD-(d.EnergyCostUSD+d.DemandChargeUSD)) > 1e-9 {
+		t.Errorf("PredictedCostUSD = %v, want energy %v + demand %v",
+			d.PredictedCostUSD, d.EnergyCostUSD, d.DemandChargeUSD)
+	}
+	if d.PredictedCostUSD < base.PredictedCostUSD-1e-9 {
+		t.Errorf("adding a demand charge lowered the bill: %v < %v",
+			d.PredictedCostUSD, base.PredictedCostUSD)
+	}
+
+	// A ledger already above every site's draw makes the increment free: the
+	// hour must cost exactly the energy-only baseline.
+	in.PeakMW = []float64{1000, 1000, 1000}
+	high := decide(t, s, in)
+	if high.DemandChargeUSD != 0 {
+		t.Errorf("above-peak ledger still charged %v", high.DemandChargeUSD)
+	}
+	if math.Abs(high.PredictedCostUSD-base.PredictedCostUSD) > 1e-6 {
+		t.Errorf("free-increment hour cost %v, energy-only baseline %v",
+			high.PredictedCostUSD, base.PredictedCostUSD)
+	}
+}
+
+// TestTwoSettlementGolden checks the two-settlement algebra: energy is billed
+// at the RT price on the metered draw, and the settlement position is
+// Σ (DA − RT) · C, decision-independent and included in the predicted cost.
+func TestTwoSettlementGolden(t *testing.T) {
+	s := paperSystem(t, Options{})
+	in := tariffIn()
+	in.RTPriceUSDPerMWh = []float64{70, 40, 55}
+	in.CommitMW = []float64{120, 150, 90}
+	d := decide(t, s, in)
+
+	wantSettle := 0.0
+	for i := range in.CommitMW {
+		da := s.viewFn(i).Price(in.DemandMW[i] + in.CommitMW[i])
+		wantSettle += (da - in.RTPriceUSDPerMWh[i]) * in.CommitMW[i]
+	}
+	if math.Abs(d.SettlementUSD-wantSettle) > 1e-9 {
+		t.Errorf("SettlementUSD = %v, want %v", d.SettlementUSD, wantSettle)
+	}
+	wantEnergy := 0.0
+	for i, a := range d.Sites {
+		if a.On && math.Abs(a.PriceUSDPerMWh-in.RTPriceUSDPerMWh[i]) > 1e-12 {
+			t.Errorf("site %d priced at %v, want RT %v", i, a.PriceUSDPerMWh, in.RTPriceUSDPerMWh[i])
+		}
+		wantEnergy += in.RTPriceUSDPerMWh[i] * a.GridMW
+	}
+	if math.Abs(d.EnergyCostUSD-wantEnergy) > 1e-6 {
+		t.Errorf("EnergyCostUSD = %v, want RT×grid %v", d.EnergyCostUSD, wantEnergy)
+	}
+	if math.Abs(d.PredictedCostUSD-(d.EnergyCostUSD+d.SettlementUSD)) > 1e-9 {
+		t.Errorf("PredictedCostUSD = %v, want %v",
+			d.PredictedCostUSD, d.EnergyCostUSD+d.SettlementUSD)
+	}
+}
+
+// tariffBattery gives every site a battery with headroom both ways.
+func tariffBattery(socMWh, valueUSDPerMWh float64) []BatterySpec {
+	specs := make([]BatterySpec, 3)
+	for i := range specs {
+		specs[i] = BatterySpec{
+			CapacityMWh:    40,
+			MaxChargeMW:    20,
+			MaxDischargeMW: 20,
+			Efficiency:     0.9,
+			SoCMWh:         socMWh,
+			ValueUSDPerMWh: valueUSDPerMWh,
+		}
+	}
+	return specs
+}
+
+// TestBatteryDischargeLowersBill: stored energy valued below the market price
+// should be spent — the solver discharges, the metered draw drops below the
+// IT draw, and the hour's bill lands at or below the energy-only baseline.
+func TestBatteryDischargeLowersBill(t *testing.T) {
+	s := paperSystem(t, Options{})
+	base := decide(t, s, tariffIn())
+
+	in := tariffIn()
+	in.Batteries = tariffBattery(40, 10) // full, valued far below any LMP band
+	d := decide(t, s, in)
+
+	totalDis := 0.0
+	for i, a := range d.Sites {
+		totalDis += a.DischargeMW
+		if math.Abs(a.GridMW-(a.PowerMW+a.ChargeMW-a.DischargeMW)) > 1e-6 {
+			t.Errorf("site %d grid %v != power %v + charge %v - discharge %v",
+				i, a.GridMW, a.PowerMW, a.ChargeMW, a.DischargeMW)
+		}
+		if a.DischargeMW > a.PowerMW+1e-6 {
+			t.Errorf("site %d exports: discharge %v > IT draw %v", i, a.DischargeMW, a.PowerMW)
+		}
+	}
+	if totalDis <= 0 {
+		t.Fatal("cheap stored energy was not discharged")
+	}
+	if d.PredictedCostUSD > base.PredictedCostUSD+1e-6 {
+		t.Errorf("battery bill %v exceeds energy-only baseline %v",
+			d.PredictedCostUSD, base.PredictedCostUSD)
+	}
+	if d.Served < base.Served-1e-6 {
+		t.Errorf("battery hour served %v, baseline %v", d.Served, base.Served)
+	}
+}
+
+// TestBatteryChargesWhenValuedAboveMarket: an empty battery whose stored
+// energy is valued above every price band should charge — paying today's rate
+// to bank energy the objective credits at ν·η per MWh stored.
+func TestBatteryChargesWhenValuedAboveMarket(t *testing.T) {
+	s := paperSystem(t, Options{})
+	in := tariffIn()
+	in.Batteries = tariffBattery(0, 500) // empty, valued far above any LMP band
+	d := decide(t, s, in)
+
+	totalChg := 0.0
+	for _, a := range d.Sites {
+		totalChg += a.ChargeMW
+	}
+	if totalChg <= 0 {
+		t.Fatal("high-value empty battery was not charged")
+	}
+	for i, a := range d.Sites {
+		bat := in.Batteries[i]
+		if a.ChargeMW > bat.MaxChargeMW+1e-9 {
+			t.Errorf("site %d charge %v exceeds rate %v", i, a.ChargeMW, bat.MaxChargeMW)
+		}
+		if a.ChargeMW*bat.Efficiency > bat.CapacityMWh-bat.SoCMWh+1e-6 {
+			t.Errorf("site %d charge %v overfills capacity", i, a.ChargeMW)
+		}
+	}
+}
+
+// TestBatteryIdleWhenValueNeutral: with the stored-energy value pinned at the
+// site's flat price and a round-trip loss, neither charging nor discharging
+// is profitable; the decision must match the energy-only baseline.
+func TestBatteryRespectsSoCBounds(t *testing.T) {
+	s := paperSystem(t, Options{})
+	in := tariffIn()
+	in.Batteries = tariffBattery(0, 10) // empty and cheap: nothing to discharge
+	d := decide(t, s, in)
+	for i, a := range d.Sites {
+		if a.DischargeMW > 1e-9 {
+			t.Errorf("site %d discharged %v from an empty battery", i, a.DischargeMW)
+		}
+	}
+}
+
+// TestTariffPropertyAuditMatches is the satellite property test: across
+// seeded random tariff hours (demand charges, two-settlement, batteries, and
+// their combinations), the audit's independently re-derived bill must agree
+// with the solver's claimed decomposition within 1e-6, and the supervised
+// path must accept every decision.
+func TestTariffPropertyAuditMatches(t *testing.T) {
+	s := paperSystem(t, Options{})
+	r := NewResilient(s, ResilientOptions{})
+	rng := rand.New(rand.NewSource(42))
+
+	for trial := 0; trial < 40; trial++ {
+		in := tariffIn()
+		in.Hour = trial
+		in.TotalLambda = 0.8e11 + rng.Float64()*1.4e11
+		in.PremiumLambda = in.TotalLambda * 0.6
+		if trial%2 == 0 {
+			in.DemandChargeUSDPerMW = 200 + rng.Float64()*2000
+			in.PeakMW = []float64{rng.Float64() * 250, rng.Float64() * 250, rng.Float64() * 250}
+		}
+		if trial%3 == 0 {
+			in.RTPriceUSDPerMWh = []float64{
+				30 + rng.Float64()*60, 30 + rng.Float64()*60, 30 + rng.Float64()*60}
+			in.CommitMW = []float64{rng.Float64() * 200, rng.Float64() * 200, rng.Float64() * 200}
+		}
+		if trial%4 == 0 {
+			soc := rng.Float64() * 40
+			in.Batteries = tariffBattery(soc, 20+rng.Float64()*80)
+		}
+		if trial%5 == 0 {
+			in.BudgetUSD = 20000 + rng.Float64()*30000
+		}
+
+		dec, err := s.DecideHour(in)
+		if err != nil {
+			t.Fatalf("trial %d: DecideHour: %v", trial, err)
+		}
+
+		// Re-derive every component from the allocation values alone.
+		energy, demand := 0.0, 0.0
+		for i, a := range dec.Sites {
+			var rate float64
+			if in.twoSettlement() {
+				rate = in.RTPriceUSDPerMWh[i]
+			} else if a.On {
+				rate = s.viewFn(i).Price(in.DemandMW[i] + a.GridMW)
+			}
+			energy += rate * a.GridMW
+			demand += in.DemandChargeUSDPerMW * math.Max(0, a.GridMW-in.peak(i))
+		}
+		settle := s.settlementUSD(in)
+		bill := energy + demand + settle
+		tol := 1e-6 * (1 + math.Abs(bill))
+		if math.Abs(dec.PredictedCostUSD-bill) > tol {
+			t.Errorf("trial %d: claimed bill %v, re-derived %v", trial, dec.PredictedCostUSD, bill)
+		}
+		if math.Abs(dec.EnergyCostUSD-energy) > tol ||
+			math.Abs(dec.DemandChargeUSD-demand) > tol ||
+			math.Abs(dec.SettlementUSD-settle) > tol {
+			t.Errorf("trial %d: components (%v,%v,%v), re-derived (%v,%v,%v)", trial,
+				dec.EnergyCostUSD, dec.DemandChargeUSD, dec.SettlementUSD, energy, demand, settle)
+		}
+
+		// The independent auditor must reach the same verdict.
+		if err := r.auditDecision(in, dec); err != nil {
+			t.Errorf("trial %d: audit rejected solver decision: %v", trial, err)
+		}
+	}
+}
+
+// TestTariffValidation exercises the tariff-input arm of ValidateInput.
+func TestTariffValidation(t *testing.T) {
+	s := paperSystem(t, Options{})
+	bad := []func(*HourInput){
+		func(in *HourInput) { in.DemandChargeUSDPerMW = math.NaN() },
+		func(in *HourInput) { in.DemandChargeUSDPerMW = -5 },
+		func(in *HourInput) { in.PeakMW = []float64{1} },
+		func(in *HourInput) { in.PeakMW = []float64{1, math.NaN(), 2} },
+		func(in *HourInput) { in.RTPriceUSDPerMWh = []float64{50, 50} },
+		func(in *HourInput) { in.RTPriceUSDPerMWh = []float64{50, -1, 50} },
+		func(in *HourInput) { in.CommitMW = []float64{10, 10, 10} }, // commits need RT prices
+		func(in *HourInput) {
+			in.RTPriceUSDPerMWh = []float64{50, 50, 50}
+			in.CommitMW = []float64{10, 10}
+		},
+		func(in *HourInput) { in.Batteries = make([]BatterySpec, 2) },
+		func(in *HourInput) {
+			in.Batteries = tariffBattery(0, 50)
+			in.Batteries[1].Efficiency = 1.5
+		},
+		func(in *HourInput) {
+			in.Batteries = tariffBattery(0, 50)
+			in.Batteries[0].SoCMWh = 99 // above capacity
+		},
+	}
+	for i, mutate := range bad {
+		in := tariffIn()
+		mutate(&in)
+		if err := s.ValidateInput(in); err == nil {
+			t.Errorf("bad tariff input %d accepted", i)
+		}
+	}
+	ok := tariffIn()
+	ok.DemandChargeUSDPerMW = 100
+	ok.PeakMW = []float64{10, 20, 30}
+	ok.RTPriceUSDPerMWh = []float64{50, 60, 70}
+	ok.CommitMW = []float64{10, 10, 10}
+	ok.Batteries = tariffBattery(20, 40)
+	if err := s.ValidateInput(ok); err != nil {
+		t.Errorf("good tariff input rejected: %v", err)
+	}
+}

@@ -34,6 +34,12 @@ type DecisionTrace struct {
 	PenaltyUSD       float64  `json:"penaltyUSD,omitempty"`
 	CapViolations    int      `json:"capViolations,omitempty"`
 
+	// EnergyUSD / DemandUSD / SettlementUSD decompose RealizedCostUSD when a
+	// tariff beyond plain energy charges is active; all zero otherwise.
+	EnergyUSD     float64 `json:"energyUSD,omitempty"`
+	DemandUSD     float64 `json:"demandUSD,omitempty"`
+	SettlementUSD float64 `json:"settlementUSD,omitempty"`
+
 	Sites  []SiteTrace  `json:"sites"`
 	Solver SolverTrace  `json:"solver"`
 	Budget *BudgetTrace `json:"budget,omitempty"`
@@ -47,6 +53,11 @@ type SiteTrace struct {
 	PriceUSDPerMWh float64 `json:"priceUSDPerMWh"`
 	CostUSD        float64 `json:"costUSD"`
 	On             bool    `json:"on"`
+	// GridMW is the metered supplier draw (differs from PowerMW only when a
+	// co-located battery charged or discharged); SoCMWh is the battery state
+	// of charge after the hour. Both omitted outside tariff runs.
+	GridMW float64 `json:"gridMW,omitempty"`
+	SoCMWh float64 `json:"socMWh,omitempty"`
 }
 
 // SolverTrace is the MILP effort behind the hour's decision.

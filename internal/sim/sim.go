@@ -57,6 +57,25 @@ type Config struct {
 	// CapPenaltyUSDPerMWh prices power-cap violations in the realization
 	// (0 → the core default).
 	CapPenaltyUSDPerMWh float64
+	// DemandChargeUSDPerMWMonth adds a billing-period demand charge: the
+	// month's bill includes this rate times each site's peak metered draw.
+	// The decider sees the same rate plus the peak-so-far ledger, so the MILP
+	// prices every MW of new peak it would set (0 = energy charges only).
+	DemandChargeUSDPerMWMonth float64
+	// Batteries co-locates storage with the sites (length 0 or len(DCs); a
+	// zero CapacityMWh entry means no battery at that site). SoCMWh is the
+	// starting charge; ValueUSDPerMWh is the stored-energy value the MILP
+	// arbitrages against (0 → the site's mean LMP band).
+	Batteries []core.BatterySpec
+	// TwoSettlement bills energy in two settlements: day-ahead commitments
+	// struck from the hour-of-week forecast at DA prices, deviations settled
+	// at a synthesized real-time price series.
+	TwoSettlement bool
+	// RTSpread is the relative sigma of the real-time price's mean-one
+	// lognormal deviation from day-ahead (0 → 0.15).
+	RTSpread float64
+	// RTSeed seeds the real-time price stream.
+	RTSeed int64
 	// PredictionError optionally corrupts the budgeter's workload
 	// prediction with mean-one lognormal error of this relative magnitude
 	// (robustness experiments; 0 = perfect hour-of-week prediction).
@@ -110,6 +129,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: premium fraction %v", c.PremiumFrac)
 	case math.IsNaN(c.MonthlyBudgetUSD) || c.MonthlyBudgetUSD < 0:
 		return fmt.Errorf("sim: monthly budget %v", c.MonthlyBudgetUSD)
+	case math.IsNaN(c.DemandChargeUSDPerMWMonth) || math.IsInf(c.DemandChargeUSDPerMWMonth, 0) || c.DemandChargeUSDPerMWMonth < 0:
+		return fmt.Errorf("sim: demand charge %v $/MW-month", c.DemandChargeUSDPerMWMonth)
+	case len(c.Batteries) != 0 && len(c.Batteries) != len(c.DCs):
+		return fmt.Errorf("sim: %d batteries for %d sites", len(c.Batteries), len(c.DCs))
+	case math.IsNaN(c.RTSpread) || math.IsInf(c.RTSpread, 0) || c.RTSpread < 0:
+		return fmt.Errorf("sim: RT spread %v", c.RTSpread)
 	}
 	for i, d := range c.Demand {
 		if d.Len() < c.Month.Len() {
@@ -130,16 +155,25 @@ type HourRecord struct {
 	ServedOrdinary  float64
 	HourlyBudget    float64 // available at decision time (+Inf when uncapped)
 	PredictedCost   float64
-	CostUSD         float64 // realized energy charge
+	CostUSD         float64 // realized charge (energy, plus demand increment and settlement under a tariff)
 	PenaltyUSD      float64 // realized cap penalties
 	Step            core.Step
 	Degraded        core.Degrade
 	CapViolations   int
 	Dropped         float64
+	// EnergyUSD / DemandUSD / SettlementUSD decompose CostUSD when a tariff
+	// beyond plain energy charges is active; all zero otherwise.
+	EnergyUSD     float64
+	DemandUSD     float64
+	SettlementUSD float64
 	// SiteLambda and SitePowerMW record the realized per-site dispatch and
-	// draw (site order follows Config.DCs).
+	// IT draw (site order follows Config.DCs). SiteGridMW is the metered
+	// supplier draw and SiteSoCMWh the post-hour battery charge; both nil
+	// outside tariff runs.
 	SiteLambda  []float64
 	SitePowerMW []float64
+	SiteGridMW  []float64
+	SiteSoCMWh  []float64
 }
 
 // BillUSD is the hour's total charge.
@@ -166,6 +200,15 @@ type Result struct {
 	MonthlyBudgetUSD float64
 	TotalCostUSD     float64
 	TotalPenaltyUSD  float64
+
+	// TotalEnergyUSD / TotalDemandUSD / TotalSettlementUSD decompose
+	// TotalCostUSD for tariff runs; PeakMW is the final billing-period peak
+	// ledger (nil outside tariff runs). The demand-charge total telescopes:
+	// Σ hourly increments = DemandChargeUSDPerMWMonth × Σ PeakMW.
+	TotalEnergyUSD     float64
+	TotalDemandUSD     float64
+	TotalSettlementUSD float64
+	PeakMW             []float64
 
 	ArrivedPremium, ServedPremium   float64
 	ArrivedOrdinary, ServedOrdinary float64
@@ -252,6 +295,14 @@ func Run(cfg Config, decider Decider) (Result, error) {
 	var rinfo *state.RestoreInfo
 	startHour := 0
 
+	var rig *tariffRig
+	if cfg.hasTariff() {
+		rig, err = newTariffRig(cfg)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
 	if cfg.StateDir != "" {
 		st, cp, info, err := state.Open(cfg.StateDir)
 		if err != nil {
@@ -262,6 +313,11 @@ func Run(cfg Config, decider Decider) (Result, error) {
 		rinfo = &info
 		if cp != nil {
 			startHour = cp.Hour
+			if rig != nil {
+				if err := rig.restore(cp.Peaks, cp.BatterySoCMWh); err != nil {
+					return Result{}, err
+				}
+			}
 			if capped {
 				if cp.Budget == nil {
 					return Result{}, fmt.Errorf("sim: state dir %q has no budget ledger to resume from", cfg.StateDir)
@@ -334,6 +390,9 @@ func Run(cfg Config, decider Decider) (Result, error) {
 			BudgetUSD:     hourBudget,
 			Down:          cfg.Faults.down(h, len(cfg.DCs)),
 		}
+		if rig != nil {
+			rig.attach(&in, cfg)
+		}
 		dec, err := decider.Decide(in)
 		if err != nil {
 			return Result{}, fmt.Errorf("sim: hour %d: %w", h, err)
@@ -351,11 +410,6 @@ func Run(cfg Config, decider Decider) (Result, error) {
 		real, err := truth.Realize(lambdas, demand)
 		if err != nil {
 			return Result{}, fmt.Errorf("sim: hour %d: %w", h, err)
-		}
-		if capped {
-			if err := budgeter.Record(real.BillUSD()); err != nil {
-				return Result{}, fmt.Errorf("sim: hour %d: %w", h, err)
-			}
 		}
 
 		rec := HourRecord{
@@ -380,9 +434,43 @@ func Run(cfg Config, decider Decider) (Result, error) {
 			rec.SiteLambda[i] = sr.Lambda
 			rec.SitePowerMW[i] = sr.PowerMW
 		}
+		if rig != nil {
+			// The market bills the metered grid draw, not the IT draw:
+			// execute the planned battery actions against the physical
+			// batteries, then run the composed tariff (energy + demand
+			// increment + settlement) over the resulting meter readings.
+			// Cap penalties re-derive on the same meter readings — charging
+			// above the supplier cap is penalized like any other draw.
+			grid, _, _ := rig.apply(dec, in, rec.SitePowerMW)
+			bill, err := rig.tariff.HourBill(h, grid, demand, rig.ledger)
+			if err != nil {
+				return Result{}, fmt.Errorf("sim: hour %d: %w", h, err)
+			}
+			rec.CostUSD = bill.TotalUSD()
+			rec.EnergyUSD = bill.EnergyUSD
+			rec.DemandUSD = bill.DemandUSD
+			rec.SettlementUSD = bill.SettlementUSD
+			rec.SiteGridMW = grid
+			rec.SiteSoCMWh = rig.socs()
+			rec.PenaltyUSD, rec.CapViolations = 0, 0
+			for i, g := range grid {
+				if cap := cfg.DCs[i].PowerCapMW; g > cap+1e-9 {
+					rec.PenaltyUSD += truth.CapPenaltyUSDPerMWh() * (g - cap)
+					rec.CapViolations++
+				}
+			}
+		}
+		if capped {
+			if err := budgeter.Record(rec.BillUSD()); err != nil {
+				return Result{}, fmt.Errorf("sim: hour %d: %w", h, err)
+			}
+		}
 		res.Hours = append(res.Hours, rec)
 		res.TotalCostUSD += rec.CostUSD
 		res.TotalPenaltyUSD += rec.PenaltyUSD
+		res.TotalEnergyUSD += rec.EnergyUSD
+		res.TotalDemandUSD += rec.DemandUSD
+		res.TotalSettlementUSD += rec.SettlementUSD
 		res.ArrivedPremium += premium
 		res.ArrivedOrdinary += ordinary
 		res.ServedPremium += rec.ServedPremium
@@ -398,7 +486,7 @@ func Run(cfg Config, decider Decider) (Result, error) {
 		res.Solver.Accumulate(dec.Solver)
 
 		if cfg.Trace != nil {
-			tr := decisionTrace(cfg, h, in, dec, real)
+			tr := decisionTrace(cfg, h, in, dec, real, rec)
 			if capped {
 				tr.Budget = &obs.BudgetTrace{
 					ShareUSD:     budgeter.Share(h),
@@ -419,11 +507,17 @@ func Run(cfg Config, decider Decider) (Result, error) {
 				ls := lc.Ladder().Snapshot()
 				e.Resilient = &ls
 			}
+			if rig != nil {
+				ps := rig.ledger.Snapshot()
+				e.Peaks = &ps
+				e.BatterySoCMWh = rig.socs()
+			}
 			if err := store.Append(e); err != nil {
 				return Result{}, fmt.Errorf("sim: hour %d: %w", h, err)
 			}
 			if (h+1)%cfg.snapshotEvery() == 0 {
-				cp := state.Checkpoint{Hour: h + 1, Forecast: fcState, Resilient: e.Resilient}
+				cp := state.Checkpoint{Hour: h + 1, Forecast: fcState, Resilient: e.Resilient,
+					Peaks: e.Peaks, BatterySoCMWh: e.BatterySoCMWh}
 				if capped {
 					bs := budgeter.Snapshot()
 					cp.Budget = &bs
@@ -434,11 +528,11 @@ func Run(cfg Config, decider Decider) (Result, error) {
 			}
 		}
 		if cfg.HaltAfterHours > 0 && h+1 >= cfg.HaltAfterHours {
-			finishResult(&res, budgeter)
+			finishResult(&res, budgeter, rig)
 			return res, ErrHalted
 		}
 	}
-	finishResult(&res, budgeter)
+	finishResult(&res, budgeter, rig)
 	return res, nil
 }
 
@@ -455,11 +549,14 @@ func (c Config) snapshotEvery() int {
 	return c.SnapshotEveryHours
 }
 
-// finishResult attaches the final ledger snapshot to a run's result.
-func finishResult(res *Result, budgeter *budget.Budgeter) {
+// finishResult attaches the final ledger snapshots to a run's result.
+func finishResult(res *Result, budgeter *budget.Budgeter, rig *tariffRig) {
 	if budgeter != nil {
 		bs := budgeter.Snapshot()
 		res.Budget = &bs
+	}
+	if rig != nil {
+		res.PeakMW = rig.ledger.Peaks()
 	}
 }
 
@@ -477,8 +574,9 @@ func zeroDownSites(lambdas []float64, in core.HourInput) float64 {
 }
 
 // decisionTrace flattens one simulated hour into the observability trace
-// record: the decision, the billed ground truth, and the solver effort.
-func decisionTrace(cfg Config, h int, in core.HourInput, dec core.Decision, real core.Realization) obs.DecisionTrace {
+// record: the decision, the billed ground truth (rec carries the tariff
+// billing when one is active), and the solver effort.
+func decisionTrace(cfg Config, h int, in core.HourInput, dec core.Decision, real core.Realization, rec HourRecord) obs.DecisionTrace {
 	tr := obs.DecisionTrace{
 		Hour:             h,
 		Step:             dec.Step.String(),
@@ -489,9 +587,12 @@ func decisionTrace(cfg Config, h int, in core.HourInput, dec core.Decision, real
 		ServedOrdinary:   dec.ServedOrdinary,
 		DroppedLambda:    real.DroppedLambda,
 		PredictedCostUSD: dec.PredictedCostUSD,
-		RealizedCostUSD:  real.CostUSD,
-		PenaltyUSD:       real.PenaltyUSD,
-		CapViolations:    real.CapViolations,
+		RealizedCostUSD:  rec.CostUSD,
+		PenaltyUSD:       rec.PenaltyUSD,
+		CapViolations:    rec.CapViolations,
+		EnergyUSD:        rec.EnergyUSD,
+		DemandUSD:        rec.DemandUSD,
+		SettlementUSD:    rec.SettlementUSD,
 		Sites:            make([]obs.SiteTrace, len(real.Sites)),
 		Solver: obs.SolverTrace{
 			Solves:     dec.Solver.Solves,
@@ -528,6 +629,12 @@ func decisionTrace(cfg Config, h int, in core.HourInput, dec core.Decision, real
 			PriceUSDPerMWh: sr.PriceUSDPerMWh,
 			CostUSD:        sr.CostUSD,
 			On:             sr.Lambda > 0 || sr.PowerMW > 0,
+		}
+		if rec.SiteGridMW != nil {
+			tr.Sites[i].GridMW = rec.SiteGridMW[i]
+		}
+		if rec.SiteSoCMWh != nil {
+			tr.Sites[i].SoCMWh = rec.SiteSoCMWh[i]
 		}
 	}
 	return tr

@@ -24,6 +24,7 @@ import (
 	"billcap/internal/budget"
 	"billcap/internal/core"
 	"billcap/internal/forecast"
+	"billcap/internal/pricing"
 )
 
 const (
@@ -49,6 +50,13 @@ type Checkpoint struct {
 	Resilient *core.ResilientState      `json:"resilient,omitempty"`
 	Forecast  *forecast.HourOfWeekState `json:"forecast,omitempty"`
 	EWMA      *forecast.EWMAState       `json:"ewma,omitempty"`
+	// Peaks is the demand-charge ledger: each site's billing-period peak
+	// metered draw so far. Losing it across a restart would let the
+	// controller re-pay demand charges the month already incurred (or worse,
+	// under-predict the bill), so tariff-aware runs persist it every hour.
+	Peaks *pricing.PeakState `json:"peaks,omitempty"`
+	// BatterySoCMWh is the per-site battery state of charge (site order).
+	BatterySoCMWh []float64 `json:"batterySoCMWh,omitempty"`
 }
 
 // Entry is one WAL record: the outcome of one recorded hour. It carries the
@@ -59,6 +67,11 @@ type Entry struct {
 	SpentUSD  float64              `json:"spentUSD"`
 	Resilient *core.ResilientState `json:"resilient,omitempty"`
 	EWMA      *forecast.EWMAState  `json:"ewma,omitempty"`
+	// Peaks and BatterySoCMWh mirror the checkpoint fields at per-hour
+	// granularity: the full post-hour tariff state, not a delta, so replaying
+	// the last entry is byte-identical to never having crashed.
+	Peaks         *pricing.PeakState `json:"peaks,omitempty"`
+	BatterySoCMWh []float64          `json:"batterySoCMWh,omitempty"`
 }
 
 // RestoreInfo reports what Open found, for /readyz and the restore metrics.
@@ -416,6 +429,12 @@ func Replay(cp *Checkpoint, entries []Entry) (*Checkpoint, int, error) {
 		}
 		if e.EWMA != nil {
 			out.EWMA = e.EWMA
+		}
+		if e.Peaks != nil {
+			out.Peaks = e.Peaks
+		}
+		if e.BatterySoCMWh != nil {
+			out.BatterySoCMWh = e.BatterySoCMWh
 		}
 		replayed++
 	}
